@@ -1,0 +1,61 @@
+"""Figure 10 — the impact of the Static Region ratio (BFS / CC / PR on FK).
+
+Paper: total time falls as the static share grows, bottoms out near ~95 %
+of GPU memory, and collapses at ratio → 1 (the on-demand region degenerates
+into per-chunk streaming); Tsr grows with the ratio while Tfilling,
+Ttransfer and Tondemand shrink; the Eq. 2 pick sits near the optimum; the
+horizontal Subway line is beaten across a wide ratio range.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table, sparkline
+from repro.harness.experiments import BENCH_SCALE, make_workload
+from repro.harness.sweeps import sweep_static_ratio
+
+from conftest import report
+
+RATIOS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0]
+
+
+@pytest.mark.parametrize("algo", ["BFS", "CC", "PR"])
+def test_fig10_static_ratio(benchmark, algo):
+    w = make_workload("FK", algo, scale=BENCH_SCALE)
+
+    def run():
+        return sweep_static_ratio(w, RATIOS)
+
+    points, subway_s, eq2 = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [f"{p.ratio:.2f}", f"{p.total_seconds:.2f}s", f"{p.t_sr:.2f}",
+         f"{p.t_filling:.2f}", f"{p.t_transfer:.2f}", f"{p.t_ondemand:.2f}"]
+        for p in points
+    ]
+    rows.append(["Subway", f"{subway_s:.2f}s", "", "", "", ""])
+    rows.append([f"Eq.2={eq2:.2f}", "", "", "", "", ""])
+    text = format_table(
+        ["ratio", "total", "Tsr", "Tfilling", "Ttransfer", "Tondemand"], rows
+    )
+    text += "\n\ntotal time over ratio: " + sparkline(
+        [p.total_seconds for p in points], width=len(points)
+    )
+    report(f"fig10_{algo}", f"Fig. 10 — static-ratio sweep, {algo} on FK", text)
+
+    by_ratio = {p.ratio: p for p in points}
+    # Component shapes: Tsr grows with the ratio; transfer/filling shrink.
+    assert by_ratio[0.95].t_sr > by_ratio[0.1].t_sr
+    assert by_ratio[0.95].t_transfer < by_ratio[0.1].t_transfer
+    assert by_ratio[0.95].t_filling < by_ratio[0.1].t_filling
+    # A well-chosen ratio beats both extremes…
+    best = min(p.total_seconds for p in points)
+    assert by_ratio[0.9].total_seconds < by_ratio[0.0].total_seconds
+    assert by_ratio[1.0].total_seconds > best  # right-edge collapse
+    # …and the optimum sits in the high-ratio region (paper: ≈0.95).
+    best_ratio = min(points, key=lambda p: p.total_seconds).ratio
+    assert best_ratio >= 0.6
+    # Eq. 2's pick performs within 25 % of the sweep optimum.
+    eq2_nearest = min(points, key=lambda p: abs(p.ratio - eq2))
+    assert eq2_nearest.total_seconds < 1.25 * best
+    # Ascetic at the chosen ratio beats the Subway baseline.
+    assert eq2_nearest.total_seconds < subway_s

@@ -1,0 +1,71 @@
+"""Figure 11 — robustness to shrinking GPU memory and growing datasets.
+
+Paper, left half: with the 15 GB Friendster dataset and the card swept
+5–13 GB, Ascetic's edge over Subway shrinks as memory shrinks but is still
++24.6 % at 35 % memory:dataset.  Right half: RMAT datasets grown to
+2.5–12 B edges against a fixed card keep Ascetic ≥ 1.5× even when the
+static region is only ~20 % of the dataset.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.harness.experiments import BENCH_SCALE
+from repro.harness.sweeps import sweep_gpu_memory, sweep_rmat_sizes
+
+from conftest import report
+
+MEMORY_FRACTIONS = [0.35, 0.5, 0.65, 0.8, 0.9]
+RMAT_EDGES = [2.5e9, 5e9, 8e9, 12e9]
+RMAT_SCALE = 1e-4  # the 12 B-edge point stays tractable
+
+
+def test_fig11_left_gpu_memory_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_gpu_memory("FK", "PR", MEMORY_FRACTIONS, scale=BENCH_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [p.label, f"{p.ascetic_seconds:.2f}s", f"{p.subway_seconds:.2f}s",
+         f"{p.speedup:.2f}x"]
+        for p in points
+    ]
+    report(
+        "fig11_left",
+        "Fig. 11 (left) — GPU memory sweep, PR on FK "
+        "(paper: still +24.6% at 35% memory:dataset)",
+        format_table(["memory/dataset", "Ascetic", "Subway", "speedup"], rows),
+    )
+
+    # Ascetic never loses to Subway, even at 35 % memory…
+    assert all(p.speedup > 1.0 for p in points)
+    assert points[0].speedup > 1.15  # ≳ the paper's +24.6 % at the low end
+    # …and the benefit grows with available memory (more reuse to exploit).
+    assert points[-1].speedup > points[0].speedup
+
+
+def test_fig11_right_rmat_size_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_rmat_sizes("PR", RMAT_EDGES, scale=RMAT_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [p.label, f"{p.memory_fraction:.0%}", f"{p.ascetic_seconds:.2f}s",
+         f"{p.subway_seconds:.2f}s", f"{p.speedup:.2f}x"]
+        for p in points
+    ]
+    report(
+        "fig11_right",
+        "Fig. 11 (right) — RMAT dataset-size sweep, PR, fixed 16 GB-class card "
+        "(paper: ≥1.5x even at ~20% memory:dataset)",
+        format_table(["dataset", "mem/data", "Ascetic", "Subway", "speedup"], rows),
+    )
+
+    assert all(p.speedup > 1.0 for p in points)
+    # The largest dataset still clears a healthy margin (paper: 1.5×).
+    assert points[-1].speedup > 1.2
+    # Memory:dataset shrinks as the dataset grows (the sweep's premise).
+    fracs = [p.memory_fraction for p in points]
+    assert all(a > b for a, b in zip(fracs, fracs[1:]))

@@ -1,0 +1,70 @@
+"""Table 1 — average percentage of active edges per iteration.
+
+Paper (Table 1):
+
+    Dataset            BFS    SSSP   CC     PR
+    Friendster-konect  4.5%   3.1%   14.1%  28.7%
+    UK-2007-04         0.8%   3.1%   3.0%   25.1%
+
+The measurement: run each algorithm to convergence and average the
+per-iteration fraction of edges owned by active vertices.  These fractions
+justify Subway's fine-grained transfers and Ascetic's K = 10 % default.
+"""
+
+import pytest
+
+from repro.analysis.active_edges import table1_row
+from repro.analysis.report import format_table
+from repro.graph.properties import best_source
+from repro.harness.experiments import BENCH_SCALE, PR_TOL, make_workload
+
+from conftest import report
+
+PAPER = {
+    "FK": {"BFS": 0.045, "SSSP": 0.031, "CC": 0.141, "PR": 0.287},
+    "UK": {"BFS": 0.008, "SSSP": 0.031, "CC": 0.030, "PR": 0.251},
+}
+
+
+def measure_row(abbr: str) -> dict:
+    from repro.algorithms import make_program
+
+    w_plain = make_workload(abbr, "BFS", scale=BENCH_SCALE)
+    w_sssp = make_workload(abbr, "SSSP", scale=BENCH_SCALE)
+    src = best_source(w_plain.graph)
+    row = table1_row(
+        w_plain.graph,
+        {
+            "BFS": make_program("BFS", source=src),
+            "CC": make_program("CC"),
+            "PR": make_program("PR", tol=PR_TOL),
+        },
+    )
+    row["SSSP"] = table1_row(
+        w_sssp.graph, {"SSSP": make_program("SSSP", source=src)}
+    )["SSSP"]
+    return row
+
+
+@pytest.mark.parametrize("abbr", ["FK", "UK"])
+def test_table1_active_edges(benchmark, abbr):
+    row = benchmark.pedantic(measure_row, args=(abbr,), rounds=1, iterations=1)
+
+    rows = [
+        [abbr, *(f"{row[a]:.1%}" for a in ("BFS", "SSSP", "CC", "PR"))],
+        ["paper", *(f"{PAPER[abbr][a]:.1%}" for a in ("BFS", "SSSP", "CC", "PR"))],
+    ]
+    report(
+        f"table1_{abbr}",
+        f"Table 1 — active edges per iteration ({abbr})",
+        format_table(["dataset", "BFS", "SSSP", "CC", "PR"], rows),
+    )
+
+    # Shape assertions: active fractions are *small* (fine-grained transfer
+    # is worth it), BFS is the sparsest, PR the densest.
+    assert row["BFS"] < 0.10
+    assert row["BFS"] < row["PR"]
+    assert row["BFS"] <= row["CC"] + 0.01
+    # UK's crawl structure makes its BFS dramatically sparser than FK's.
+    if abbr == "UK":
+        assert row["BFS"] < 0.015

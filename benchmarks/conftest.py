@@ -1,0 +1,77 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.  The
+full 4-datasets × 4-algorithms × 4-engines grid is computed once per
+session (the ``grid`` fixture) and shared by Tables 4/5 and Figures 7/9.
+
+Reports are registered with :func:`report` and printed in the terminal
+summary, so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+captures the paper-style tables alongside pytest-benchmark's own timings.
+Every report is also written to ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.engines.base import RunResult
+from repro.harness.experiments import BENCH_SCALE, make_workload, run_all_engines
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: (title, text) pairs accumulated across the session.
+_REPORTS: List[Tuple[str, str]] = []
+
+DATASET_ORDER = ("GS", "FK", "FS", "UK")
+ALGO_ORDER = ("BFS", "SSSP", "CC", "PR")
+
+GridType = Dict[Tuple[str, str], Dict[str, RunResult]]
+
+
+def report(name: str, title: str, text: str) -> None:
+    """Register a paper-style report for the terminal summary + results dir."""
+    _REPORTS.append((title, text))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(title + "\n\n" + text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    tr = terminalreporter
+    tr.section("paper reproduction reports")
+    for title, text in _REPORTS:
+        tr.write_line("")
+        tr.write_line(f"==== {title} ====")
+        for line in text.splitlines():
+            tr.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def grid() -> GridType:
+    """The full Tables-4/5 grid: every (dataset, algorithm) × every engine.
+
+    Also dumps the raw telemetry to ``results/grid.json`` for downstream
+    analysis.
+    """
+    from repro.harness.persistence import save_results
+
+    out: GridType = {}
+    runs = []
+    for abbr in DATASET_ORDER:
+        for algo in ALGO_ORDER:
+            w = make_workload(abbr, algo, scale=BENCH_SCALE)
+            out[(abbr, algo)] = run_all_engines(w)
+            runs.extend(out[(abbr, algo)].values())
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    save_results(runs, os.path.join(RESULTS_DIR, "grid.json"))
+    return out
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE

@@ -1,0 +1,6 @@
+# Shim for environments without PEP 517 editable support
+# (`pip install -e . --no-build-isolation` uses pyproject.toml; this file
+# additionally enables the legacy `python setup.py develop` path).
+from setuptools import setup
+
+setup()

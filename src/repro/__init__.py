@@ -1,0 +1,58 @@
+"""Ascetic (ICPP '21) reproduction.
+
+This package reproduces *"Ascetic: Enhancing Cross-Iterations Data Efficiency
+in Out-of-Memory Graph Processing on GPUs"* (Tang et al., ICPP 2021) as a pure
+Python library.  The GPU, its memory system, the PCIe link, and NVIDIA UVM are
+modelled by the deterministic simulator in :mod:`repro.gpusim`; graph
+algorithms are executed for real on scaled datasets and validated against
+networkx/scipy.
+
+Layout
+------
+``repro.graph``
+    CSR graphs, generators (RMAT, web-graph), named scaled datasets,
+    partitioning — the data substrate.
+``repro.gpusim``
+    The simulated GPU platform: virtual clock, device memory allocator, PCIe
+    link, streams with compute/copy overlap, UVM demand paging, cost model.
+``repro.algorithms``
+    Push-based vertex-centric BFS / SSSP / CC / PageRank plus reference
+    validation.
+``repro.engines``
+    The baselines the paper compares against: PT (partition-based), UVM,
+    and Subway.
+``repro.core``
+    The paper's contribution: the Ascetic engine — Static Region,
+    On-demand Region, overlap scheduler, adaptive ratio, chunk replacement.
+``repro.analysis``
+    Trace/statistics tooling that regenerates the paper's tables and figures.
+``repro.harness``
+    Experiment configuration, sweeps and table formatting used by
+    ``benchmarks/``.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.gpusim.device import GPUSpec, SimulatedGPU
+from repro.engines.base import RunResult
+from repro.engines.partition_based import PartitionEngine
+from repro.engines.uvm_engine import UVMEngine
+from repro.engines.subway import SubwayEngine
+from repro.core.ascetic import AsceticConfig, AsceticEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "load_dataset",
+    "DATASETS",
+    "GPUSpec",
+    "SimulatedGPU",
+    "RunResult",
+    "PartitionEngine",
+    "UVMEngine",
+    "SubwayEngine",
+    "AsceticEngine",
+    "AsceticConfig",
+    "__version__",
+]

@@ -1,0 +1,97 @@
+"""The vertex-program contract.
+
+A :class:`VertexProgram` is one algorithm under the paper's push-based
+vertex-centric model (§3.1): per superstep, every *active* vertex pushes
+along its out-edges; pushes may activate destinations for the next
+superstep.  The program owns the numeric state (always GPU-resident in the
+paper — vertex arrays are small); the *engine* owns how the edge data
+reaches the GPU and is charged for it.
+
+Engines drive the loop:
+
+    state = prog.init_state(graph)
+    while state.active.any() and not prog.done(state):
+        ...account/move the edges of state.active...
+        prog.step(graph, state)        # consumes state.active, replaces it
+
+``step`` must be a pure function of (graph, state): given the same inputs it
+produces the same outputs on every engine — the cross-engine equivalence
+tests rely on that.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["ProgramState", "VertexProgram"]
+
+
+@dataclass
+class ProgramState:
+    """Mutable per-run state shared by all programs.
+
+    ``active`` is the frontier consumed by the *next* call to ``step``.
+    Subclasses add the value arrays (levels, distances, labels, ranks).
+    """
+
+    active: np.ndarray
+    iteration: int = 0
+    #: Edges processed so far, accumulated by ``step`` (for reports).
+    edges_relaxed: int = field(default=0)
+
+    @property
+    def n_active(self) -> int:
+        return int(np.count_nonzero(self.active))
+
+
+class VertexProgram(abc.ABC):
+    """One algorithm in the push-based vertex-centric model."""
+
+    #: Paper abbreviation (BFS/SSSP/CC/PR).
+    name: str = "?"
+    #: Whether edges must carry weights (doubles edge bytes; SSSP).
+    needs_weights: bool = False
+    #: Cost-model hint: kernel dominated by atomic scatter updates.
+    atomics: bool = False
+    #: Hard iteration cap (safety net; PR uses it as its budget too).
+    max_iterations: int = 10_000
+
+    @abc.abstractmethod
+    def init_state(self, graph: CSRGraph) -> ProgramState:
+        """Allocate value arrays and the initial frontier."""
+
+    @abc.abstractmethod
+    def step(self, graph: CSRGraph, state: ProgramState) -> None:
+        """Run one superstep: consume ``state.active``, update values,
+        install the next frontier, and bump ``state.iteration``."""
+
+    @abc.abstractmethod
+    def values(self, state: ProgramState) -> np.ndarray:
+        """The result array (levels / distances / labels / ranks)."""
+
+    def done(self, state: ProgramState) -> bool:
+        """Termination test beyond an empty frontier."""
+        return state.iteration >= self.max_iterations
+
+    def validate_graph(self, graph: CSRGraph) -> None:
+        """Raise if the graph cannot run this program."""
+        if self.needs_weights and not graph.is_weighted:
+            raise ValueError(f"{self.name} requires edge weights")
+
+    def run_reference(self, graph: CSRGraph) -> np.ndarray:
+        """Run the program to completion host-side (no engine, no costs).
+
+        This is the oracle the engine tests compare against, and the
+        cheapest way to get exact per-iteration frontiers for the analysis
+        tooling.
+        """
+        self.validate_graph(graph)
+        state = self.init_state(graph)
+        while state.active.any() and not self.done(state):
+            self.step(graph, state)
+        return self.values(state)

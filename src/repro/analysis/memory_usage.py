@@ -1,0 +1,37 @@
+"""Fine-grained memory-usage statistics — Table 2 and the §2.2 idle claim.
+
+Table 2 measures how much GPU memory the fine-grained (Subway-style) scheme
+actually uses per iteration: the gathered subgraph.  The point of the table
+is that it is a *tiny* fraction of an 8–16 GB card — the under-utilization
+Ascetic's Static Region exists to fix.  §2.2 also reports 68 % GPU idle
+time for BFS on friendster under the sequential pipeline; both numbers fall
+out of one Subway run.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import VertexProgram
+from repro.engines.base import RunResult
+from repro.engines.subway import SubwayEngine
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import GPUSpec
+
+__all__ = ["subway_memory_usage", "subway_idle_fraction", "run_subway"]
+
+
+def run_subway(
+    graph: CSRGraph, program: VertexProgram, spec: GPUSpec, data_scale: float = 1.0
+) -> RunResult:
+    """One Subway run configured like the paper's measurement platform."""
+    return SubwayEngine(spec=spec, data_scale=data_scale).run(graph, program)
+
+
+def subway_memory_usage(result: RunResult) -> float:
+    """Average bytes of GPU memory the gathered subgraph needs per
+    iteration, at paper scale (Table 2's cell)."""
+    return result.extra.get("avg_iteration_bytes", 0.0)
+
+
+def subway_idle_fraction(result: RunResult) -> float:
+    """Fraction of the run the GPU compute engine sat idle (§2.2's 68 %)."""
+    return result.gpu_idle_fraction

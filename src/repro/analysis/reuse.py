@@ -1,0 +1,188 @@
+"""Reuse-distance analysis — the paper's §1–2 motivation, quantified.
+
+The paper's core observation: graph data *is* reused across iterations,
+but the reuse distance (chunks touched between consecutive uses of the
+same chunk) is roughly the whole dataset, so any LRU cache smaller than
+the dataset thrashes (Fig. 1), while a *pinned* region keeps its hit rate
+no matter the distance.  These tools measure that from an access trace:
+
+* :func:`reuse_distances` — classic Mattson stack distances over the
+  chunk-access stream;
+* :func:`lru_hit_rate_curve` — hit rate as a function of LRU capacity
+  (a stack-distance histogram integral), which shows the paper's cliff:
+  ≈0 hits until capacity reaches the working set, then everything;
+* :func:`pinned_hit_rate` — hit rate of a static pinned region of the
+  same capacity, the Ascetic alternative: linear in capacity, no cliff.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["reuse_distances", "reuse_distances_stream", "lru_hit_rate_curve", "pinned_hit_rate"]
+
+
+def _access_stream(chunk_sets: Sequence[np.ndarray]) -> np.ndarray:
+    """Flatten per-iteration touch sets into one access stream.
+
+    Within an iteration, accesses arrive in ascending chunk order (the
+    near-sequential scan of Fig. 2).
+    """
+    if not chunk_sets:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate([np.sort(np.asarray(c, dtype=np.int64)) for c in chunk_sets])
+
+
+def reuse_distances_stream(stream: np.ndarray) -> np.ndarray:
+    """Stack distances of an arbitrary access stream (reference algorithm).
+
+    O(N log N) via a Fenwick tree over last-access positions.  The set-based
+    fast path below is cross-validated against this in the test suite.
+    """
+    stream = np.asarray(stream, dtype=np.int64)
+    n = stream.size
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    # Fenwick tree marking positions still "live" (most recent access of
+    # their chunk).
+    tree = np.zeros(n + 1, dtype=np.int64)
+
+    def add(i: int, v: int) -> None:
+        i += 1
+        while i <= n:
+            tree[i] += v
+            i += i & (-i)
+
+    def prefix(i: int) -> int:
+        i += 1
+        s = 0
+        while i > 0:
+            s += tree[i]
+            i -= i & (-i)
+        return s
+
+    last_pos = {}
+    out: List[int] = []
+    total_live = 0
+    for pos in range(n):
+        c = int(stream[pos])
+        prev = last_pos.get(c)
+        if prev is not None:
+            # Distinct chunks touched strictly after prev = live marks in
+            # (prev, pos).
+            out.append(total_live - prefix(prev))
+            add(prev, -1)
+            total_live -= 1
+        last_pos[c] = pos
+        add(pos, 1)
+        total_live += 1
+    return np.asarray(out, dtype=np.int64)
+
+
+def reuse_distances(chunk_sets: Sequence[np.ndarray]) -> np.ndarray:
+    """Stack distance of every reuse (first touches excluded), vectorized.
+
+    Exploits the per-iteration structure of a trace (each iteration touches
+    a *set* of chunks in ascending order, Fig. 2's sequential scan): for a
+    chunk ``c`` last touched in iteration ``i`` and touched again in ``j``,
+    the distinct chunks in between are
+
+        |touched in (i, j)|                                (whole middle)
+        + |{c' > c touched in i but not in the middle}|    (tail of scan i)
+        + |{c' < c touched in j but not in the middle or i}| (head of scan j)
+
+    which is a prefix/suffix-sum per (i, j) pair — O(iterations × chunks)
+    total instead of a per-access loop.
+    """
+    sets = [np.unique(np.asarray(c, dtype=np.int64)) for c in chunk_sets]
+    sets = [c for c in sets]
+    n_iters = len(sets)
+    if n_iters == 0:
+        return np.empty(0, dtype=np.int64)
+    n_chunks = int(max((c[-1] for c in sets if c.size), default=-1)) + 1
+    if n_chunks == 0:
+        return np.empty(0, dtype=np.int64)
+    touched = np.zeros((n_iters, n_chunks), dtype=bool)
+    for it, c in enumerate(sets):
+        touched[it, c] = True
+    # cum[i] = per-chunk count of touches in iterations [0, i].
+    cum = np.cumsum(touched, axis=0, dtype=np.int32)
+
+    last = np.full(n_chunks, -1, dtype=np.int64)
+    out: List[np.ndarray] = []
+    for j, cs in enumerate(sets):
+        prev = last[cs]
+        reused = prev >= 0
+        for i in np.unique(prev[reused]):
+            group = cs[reused & (prev == i)]
+            if j - 1 >= i + 1:
+                mid = (cum[j - 1] - cum[i]) > 0
+            else:
+                mid = np.zeros(n_chunks, dtype=bool)
+            mid_count = int(np.count_nonzero(mid))
+            tail_i = touched[i] & ~mid
+            # Chunks before c in scan j count whether or not scan i also
+            # touched them (their iteration-i access precedes c and falls
+            # outside the window; their iteration-j access is inside it).
+            head_j = touched[j] & ~mid
+            # strictly-greater suffix counts / strictly-less prefix counts
+            suffix = np.cumsum(tail_i[::-1])[::-1] - tail_i
+            prefix_cnt = np.cumsum(head_j) - head_j
+            out.append(mid_count + suffix[group] + prefix_cnt[group])
+        last[cs] = j
+    if not out:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(out).astype(np.int64)
+
+
+def lru_hit_rate_curve(
+    chunk_sets: Sequence[np.ndarray], capacities: Sequence[int]
+) -> List[float]:
+    """LRU hit rate at each cache capacity (in chunks), over all accesses.
+
+    A reuse with stack distance d hits iff capacity > d; first touches
+    always miss.
+    """
+    distances = reuse_distances(chunk_sets)
+    total_accesses = int(sum(len(np.unique(np.asarray(c))) for c in chunk_sets))
+    if total_accesses == 0:
+        return [0.0 for _ in capacities]
+    d_sorted = np.sort(distances)
+    return [
+        float(np.searchsorted(d_sorted, cap, side="left")) / total_accesses
+        for cap in capacities
+    ]
+
+
+def pinned_hit_rate(chunk_sets: Sequence[np.ndarray], capacity: int) -> float:
+    """Hit rate of a static pinned region holding the first ``capacity``
+    chunks ever touched — the Static Region alternative to LRU.
+
+    No cliff: hits scale with how much of the access mass the pinned
+    chunks carry, independent of reuse distance.
+    """
+    if capacity <= 0 or not chunk_sets:
+        return 0.0
+    sets = [np.unique(np.asarray(c, dtype=np.int64)) for c in chunk_sets]
+    n_chunks = int(max((c[-1] for c in sets if c.size), default=-1)) + 1
+    if n_chunks == 0:
+        return 0.0
+    touched = np.zeros((len(sets), n_chunks), dtype=bool)
+    for it, c in enumerate(sets):
+        touched[it, c] = True
+    counts = touched.sum(axis=0)
+    ever = counts > 0
+    total = int(counts.sum())
+    if total == 0:
+        return 0.0
+    # Lazy fill (like Ascetic's): the first `capacity` chunks in first-touch
+    # order — (first iteration, ascending id within the scan) — stay pinned;
+    # each pinned chunk hits on every touch after its first.
+    first_iter = np.argmax(touched, axis=0)
+    ids = np.nonzero(ever)[0]
+    order = np.lexsort((ids, first_iter[ids]))
+    pinned = ids[order][:capacity]
+    hits = int((counts[pinned] - 1).sum())
+    return hits / total

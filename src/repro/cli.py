@@ -1,0 +1,168 @@
+"""Command-line interface.
+
+Exposes the experiment harness without writing Python::
+
+    repro datasets                                  # Table-3 inventory
+    repro run --dataset FK --algo BFS --engine Ascetic
+    repro compare --dataset UK --algo PR            # all four engines
+    repro sweep-ratio --dataset FK --algo CC        # Fig.-10 style sweep
+
+Every command prints the same fixed-width reports the benchmarks produce.
+Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table, human_bytes, sparkline
+from repro.core.ascetic import AsceticConfig
+from repro.graph.datasets import DATASETS
+from repro.harness.experiments import (
+    BENCH_SCALE,
+    ENGINES,
+    make_workload,
+    run_all_engines,
+    run_cell,
+)
+from repro.harness.sweeps import sweep_static_ratio
+
+__all__ = ["main", "build_parser"]
+
+ALGOS = ("BFS", "SSSP", "CC", "PR", "SSWP", "PR-PULL", "KCORE")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` entry point."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Ascetic (ICPP'21) reproduction — out-of-GPU-memory "
+        "graph processing on a simulated GPU.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print the Table-3 dataset inventory")
+
+    def common(sp):
+        sp.add_argument("--dataset", required=True, choices=sorted(DATASETS),
+                        help="Table-3 dataset abbreviation")
+        sp.add_argument("--algo", required=True, choices=ALGOS,
+                        help="vertex program")
+        sp.add_argument("--scale", type=float, default=BENCH_SCALE,
+                        help=f"dataset down-scale (default {BENCH_SCALE:g})")
+        sp.add_argument("--memory-bytes", type=int, default=None,
+                        help="override the (scaled) device capacity")
+
+    run_p = sub.add_parser("run", help="run one engine on one workload")
+    common(run_p)
+    run_p.add_argument("--engine", default="Ascetic", choices=sorted(ENGINES))
+    run_p.add_argument("--fill", default=None,
+                       choices=("lazy", "front", "rear", "random"),
+                       help="Ascetic static-region fill policy")
+    run_p.add_argument("--ratio", type=float, default=None,
+                       help="Ascetic forced static ratio (overrides Eq. 2)")
+    run_p.add_argument("--no-overlap", action="store_true",
+                       help="disable the §3.2 overlap (Fig. 8 ablation)")
+
+    cmp_p = sub.add_parser("compare", help="run all four engines on one workload")
+    common(cmp_p)
+
+    sw_p = sub.add_parser("sweep-ratio", help="Fig.-10-style static-ratio sweep")
+    common(sw_p)
+    sw_p.add_argument("--ratios", type=float, nargs="+",
+                      default=[0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 1.0])
+    return p
+
+
+def _cmd_datasets() -> int:
+    rows = []
+    for abbr, spec in DATASETS.items():
+        rows.append(
+            [abbr, spec.full_name, f"{spec.paper_vertices/1e6:.2f}M",
+             f"{spec.paper_edges/1e9:.2f}B",
+             "directed" if spec.directed else "undirected", spec.kind]
+        )
+    print(format_table(
+        ["abbr", "name", "vertices", "edges", "direction", "kind"], rows,
+        title="Table 3 — datasets (paper-scale counts; loaded scaled)",
+    ))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    w = make_workload(args.dataset, args.algo, scale=args.scale,
+                      memory_bytes=args.memory_bytes)
+    kwargs = {}
+    if args.engine == "Ascetic":
+        cfg = AsceticConfig()
+        if args.fill:
+            cfg = cfg.with_(fill=args.fill)
+        if args.ratio is not None:
+            cfg = cfg.with_(forced_ratio=args.ratio, adaptive=False)
+        if args.no_overlap:
+            cfg = cfg.with_(overlap=False)
+        kwargs["config"] = cfg
+    res = run_cell(w, args.engine, **kwargs)
+    print(res.summary())
+    rows = [[k, f"{v:.4g}"] for k, v in sorted(res.extra.items())]
+    rows += [[k, f"{v:.4g}"] for k, v in sorted(res.metrics.as_dict().items())]
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    w = make_workload(args.dataset, args.algo, scale=args.scale,
+                      memory_bytes=args.memory_bytes)
+    results = run_all_engines(w)
+    best = min(r.elapsed_seconds for r in results.values())
+    rows = [
+        [name, f"{r.elapsed_seconds:.2f}s", f"{r.elapsed_seconds / best:.2f}x",
+         human_bytes(r.metrics.bytes_h2d), f"{r.gpu_idle_fraction:.0%}",
+         r.iterations]
+        for name, r in results.items()
+    ]
+    print(format_table(
+        ["engine", "time", "vs best", "H2D", "GPU idle", "iters"], rows,
+        title=f"{args.algo} on {args.dataset} (scale {args.scale:g})",
+    ))
+    return 0
+
+
+def _cmd_sweep_ratio(args) -> int:
+    w = make_workload(args.dataset, args.algo, scale=args.scale,
+                      memory_bytes=args.memory_bytes)
+    points, subway_s, eq2 = sweep_static_ratio(w, args.ratios)
+    rows = [
+        [f"{p.ratio:.2f}", f"{p.total_seconds:.2f}s", f"{p.t_sr:.2f}",
+         f"{p.t_filling:.2f}", f"{p.t_transfer:.2f}", f"{p.t_ondemand:.2f}"]
+        for p in points
+    ]
+    print(format_table(
+        ["ratio", "total", "Tsr", "Tfilling", "Ttransfer", "Tondemand"], rows,
+        title=f"Static-ratio sweep — {args.algo} on {args.dataset}",
+    ))
+    print("\ntotal over ratio:", sparkline([p.total_seconds for p in points],
+                                           width=len(points)))
+    print(f"Subway baseline: {subway_s:.2f}s   Eq. 2 pick: {eq2:.2f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: parse ``argv`` (default ``sys.argv[1:]``) and dispatch."""
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "sweep-ratio":
+        return _cmd_sweep_ratio(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,196 @@
+"""The Ascetic engine facade.
+
+Wires the pieces of :mod:`repro.core` into the common
+:class:`~repro.engines.base.Engine` interface: sizes the two regions with
+Eq. 2, prefills the Static Region, and delegates each iteration to the
+Manager's overlapped schedule.  All the paper's ablation switches are on
+:class:`AsceticConfig` — Fig. 8 (overlap off), Fig. 10 (forced ratio sweep),
+§5 (fill policy, replacement on/off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.algorithms.base import ProgramState, VertexProgram
+from repro.core.manager import IterationOutcome, run_iteration
+from repro.core.ratio import region_bytes, static_ratio
+from repro.core.replacement import HotnessTable
+from repro.core.static_region import DEFAULT_CHUNK_BYTES, StaticRegion
+from repro.engines.base import Engine, RunResult
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import GPUSpec, SimulatedGPU
+
+__all__ = ["AsceticConfig", "AsceticEngine"]
+
+
+@dataclass(frozen=True)
+class AsceticConfig:
+    """Tunables of the Ascetic engine (defaults follow the paper, §4.1).
+
+    Parameters
+    ----------
+    k:
+        Expected active-edge fraction per iteration, Eq. 2's K (paper
+        default 10 %).
+    chunk_bytes:
+        Static Region chunk size (§3.4: 16 KB).
+    fill:
+        How the Static Region gets its content.  ``front`` (default) /
+        ``rear`` / ``random`` prefill the region eagerly during setup with
+        the §5 policies (the paper measures < 5 % runtime difference
+        between them); the prefill transfer is charged to the clock and
+        recorded separately in ``extra["static_prefill_bytes"]`` because
+        the paper's transfer numbers (Table 5's BFS/GS at 0.02×, Fig. 7's
+        note) report *processing* transfers without the prestore.
+        ``lazy`` instead keeps on-demand data as it arrives until the
+        region is full — no prefill traffic at all.
+    fill_seed:
+        RNG seed for ``fill="random"``.
+    fragment_bytes:
+        Replacement swaps contiguous *fragments* of chunks (Fig. 6), sized
+        here in paper-scale bytes; chunk-scattered swaps would destroy
+        vertex-level coverage.
+    overlap:
+        Overlap static compute with the on-demand chain (§3.2).  Disabling
+        isolates Fig. 8's *Static savings*.
+    replacement:
+        Run the §3.4 chunk-replacement server.
+    replacement_policy:
+        ``"auto"`` picks per algorithm as §3.4 describes — cumulative
+        counters for monotone programs (BFS/SSSP/CC read each edge region a
+        bounded number of times), last-iteration counters for PR;
+        or force ``"cumulative"`` / ``"last"``.
+    stale_threshold:
+        Counter threshold for staleness.
+    adaptive:
+        Apply the §3.3 Eq. 3 repartition check each iteration.
+    forced_ratio:
+        Override Eq. 2 with a fixed static-region share (Fig. 10 sweep).
+    static_floor:
+        Lower clip for Eq. 2 when ``K·D ≥ M``.
+    """
+
+    k: float = 0.10
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    fill: str = "front"
+    fill_seed: int = 0
+    fragment_bytes: int = 1024 * 1024
+    overlap: bool = True
+    replacement: bool = True
+    replacement_policy: str = "auto"
+    stale_threshold: int = 1
+    adaptive: bool = True
+    forced_ratio: Optional[float] = None
+    static_floor: float = 0.0
+
+    def with_(self, **kwargs) -> "AsceticConfig":
+        """A copy with some fields replaced (sweep convenience)."""
+        return replace(self, **kwargs)
+
+    def policy_for(self, program: VertexProgram) -> str:
+        if self.replacement_policy != "auto":
+            return self.replacement_policy
+        return "last" if program.name == "PR" else "cumulative"
+
+
+class AsceticEngine(Engine):
+    """The paper's engine: Static Region + On-demand Region + overlap.
+
+    Sizing follows Eq. 2 (or ``config.forced_ratio``), the per-iteration
+    schedule is :func:`repro.core.manager.run_iteration`, and every §4/§5
+    ablation switch lives on :class:`AsceticConfig`.
+    """
+
+    name = "Ascetic"
+
+    def __init__(
+        self,
+        spec: GPUSpec | None = None,
+        config: AsceticConfig | None = None,
+        record_spans: bool = False,
+        max_iterations: int | None = None,
+        data_scale: float = 1.0,
+    ) -> None:
+        super().__init__(spec, record_spans, max_iterations, data_scale)
+        self.config = config or AsceticConfig()
+
+    # ----------------------------------------------------------- lifecycle
+    def _prepare(self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram) -> None:
+        cfg = self.config
+        gpu.memory.alloc("vertex_state", self._vertex_state_bytes(graph))
+        gpu.h2d(self._vertex_state_bytes(graph), label="vertex-state")
+        available = gpu.memory.available
+        d = graph.edge_array_bytes
+        ratio = (
+            cfg.forced_ratio
+            if cfg.forced_ratio is not None
+            else static_ratio(cfg.k, d, available, floor=cfg.static_floor)
+        )
+        # Chunk geometry scales with the data so the chunk *count* (and the
+        # hotness table the replacement server manages) matches paper scale.
+        chunk_bytes = self.scaled_bytes(cfg.chunk_bytes)
+        self._fragment_chunks = max(
+            self.scaled_bytes(cfg.fragment_bytes) // chunk_bytes, 1
+        )
+        static_bytes, _ = region_bytes(available, ratio, align=chunk_bytes)
+        self._region = StaticRegion(
+            graph,
+            capacity_bytes=static_bytes,
+            chunk_bytes=chunk_bytes,
+            fill=cfg.fill,
+            seed=cfg.fill_seed,
+            fragment_chunks=self._fragment_chunks,
+        )
+        real_static = self._region.capacity_chunks * chunk_bytes
+        self._static_alloc = gpu.memory.alloc("static_region", real_static)
+        self._ondemand_alloc = gpu.memory.alloc("ondemand_region", available - real_static)
+        self._hotness = HotnessTable(
+            self._region.n_chunks,
+            policy=cfg.policy_for(program),
+            stale_threshold=cfg.stale_threshold,
+        )
+        # Eager prefill of the Static Region (counted in Table 5, excluded
+        # from Fig. 7 via the separate extra below).  Lazy fill moves
+        # nothing here — the region fills from on-demand traffic.
+        self._prefill_bytes = self._region.resident_bytes
+        self._ratio = ratio
+        if self._prefill_bytes:
+            gpu.cpu_gather(self._prefill_bytes, label="prefill-gather")
+            gpu.h2d(self._prefill_bytes, label="static-prefill", phase="Tprefill")
+        self._outcomes: List[IterationOutcome] = []
+
+    def _iteration(
+        self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram, state: ProgramState
+    ) -> None:
+        cfg = self.config
+        self._outcomes.append(
+            run_iteration(
+                gpu,
+                graph,
+                program,
+                state,
+                region=self._region,
+                hotness=self._hotness,
+                static_alloc=self._static_alloc,
+                ondemand_alloc=self._ondemand_alloc,
+                overlap=cfg.overlap,
+                replacement=cfg.replacement,
+                adaptive=cfg.adaptive,
+                lazy_fill=cfg.fill == "lazy",
+                fragment_chunks=self._fragment_chunks,
+            )
+        )
+
+    def _report_extra(self, result: RunResult, gpu: SimulatedGPU, graph: CSRGraph) -> None:
+        # Byte quantities are reported at paper scale, like the metrics.
+        up = 1.0 / self.data_scale
+        result.extra["static_ratio"] = float(self._ratio)
+        result.extra["static_prefill_bytes"] = self._prefill_bytes * up
+        result.extra["static_region_bytes"] = self._static_alloc.nbytes * up
+        result.extra["ondemand_region_bytes"] = self._ondemand_alloc.nbytes * up
+        result.extra["swap_bytes"] = sum(o.swap_bytes for o in self._outcomes) * up
+        result.extra["repartitions"] = float(sum(o.repartitioned for o in self._outcomes))
+        result.extra["static_edges"] = float(sum(o.static_edges for o in self._outcomes))
+        result.extra["ondemand_edges"] = float(sum(o.ondemand_edges for o in self._outcomes))

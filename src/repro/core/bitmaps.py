@@ -1,0 +1,48 @@
+"""Bitmap algebra of Fig. 4.
+
+Ascetic tracks three vertex bitmaps on the GPU:
+
+* **ActiveBitmap** — vertices active this iteration (from the frontier);
+* **StaticBitmap** — vertices whose *entire* edge list is resident in the
+  Static Region;
+* derived **StaticMap** = Active ∧ Static (process from the Static Region)
+  and **OndemandMap** = Active ⊕ StaticMap (fetch through the On-demand
+  Engine — for boolean masks with StaticMap ⊆ Active this XOR equals
+  Active ∧ ¬Static, which is how the paper words it).
+
+Masks are NumPy boolean arrays; these helpers exist so the identity is
+stated (and property-tested) in exactly one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["and_map", "ondemand_map", "split_active"]
+
+
+def and_map(active: np.ndarray, static: np.ndarray) -> np.ndarray:
+    """StaticMap = ActiveBitmap AND StaticBitmap (Fig. 4 step ➊)."""
+    if active.shape != static.shape:
+        raise ValueError("bitmap shapes differ")
+    return active & static
+
+
+def ondemand_map(active: np.ndarray, static_map: np.ndarray) -> np.ndarray:
+    """OndemandMap = ActiveBitmap XOR StaticMap (Fig. 4 step ➊).
+
+    ``static_map`` must be a subset of ``active`` (it is, by construction);
+    the XOR then leaves exactly the active vertices that missed the Static
+    Region.
+    """
+    if active.shape != static_map.shape:
+        raise ValueError("bitmap shapes differ")
+    if np.any(static_map & ~active):
+        raise ValueError("StaticMap must be a subset of ActiveBitmap")
+    return active ^ static_map
+
+
+def split_active(active: np.ndarray, static: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return (StaticMap, OndemandMap) for one iteration."""
+    smap = and_map(active, static)
+    return smap, ondemand_map(active, smap)

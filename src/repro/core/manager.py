@@ -1,0 +1,228 @@
+"""The GPU-side Manager: one overlapped Ascetic iteration (§3.1–§3.4).
+
+Schedule per iteration (Fig. 4 numbering, Fig. 5 timeline):
+
+1. **GenDataMap** — a GPU scan produces StaticMap and OndemandMap from
+   ActiveBitmap ∧/⊕ StaticBitmap.
+2. **Adaptive repartition** (§3.3) — if the measured on-demand volume
+   overflows its region while the static region is cold, shrink the static
+   region by Eq. 3, return the chunks' memory to the on-demand region, and
+   regenerate the map.
+3. **Static computing** — the GPU processes StaticNodes' edges straight out
+   of the Static Region (phase ``Tsr``); *simultaneously* the On-demand
+   Engine gathers the OndemandNodes' edges on the CPU (``Tfilling``) and
+   streams them over PCIe (``Ttransfer``).
+4. **On-demand computing** — the GPU lane picks up each transferred round
+   (``Tondemand``); rounds pipeline (round r+1 gathers while round r
+   computes).
+5. **Static update** (§3.4) — while the GPU chews on the on-demand data the
+   copy engine is idle, so the replacement server swaps stale chunks into
+   the Static Region, bounded by that idle window (``Tswap``).
+
+``overlap=False`` degrades step 3/4 to the strictly sequential baseline
+schedule (Fig. 5 top) — that switch is exactly how the paper isolates
+*Static savings* from *Overlapping savings* in Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.base import ProgramState, VertexProgram
+from repro.algorithms.frontier import active_edge_count
+from repro.core.bitmaps import split_active
+from repro.core.ondemand import plan_ondemand
+from repro.core.ratio import check_repartition
+from repro.core.replacement import HotnessTable
+from repro.core.static_region import StaticRegion
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import SimulatedGPU
+from repro.gpusim.memory import Allocation
+
+__all__ = ["IterationOutcome", "run_iteration"]
+
+
+@dataclass
+class IterationOutcome:
+    """Accounting detail of one Ascetic iteration (consumed by analysis)."""
+
+    static_edges: int = 0
+    ondemand_edges: int = 0
+    ondemand_bytes: int = 0
+    swap_bytes: int = 0
+    repartitioned: bool = False
+    n_rounds: int = 0
+    promoted_chunks: int = 0
+
+
+def run_iteration(
+    gpu: SimulatedGPU,
+    graph: CSRGraph,
+    program: VertexProgram,
+    state: ProgramState,
+    region: StaticRegion,
+    hotness: HotnessTable,
+    static_alloc: Allocation,
+    ondemand_alloc: Allocation,
+    overlap: bool = True,
+    replacement: bool = True,
+    adaptive: bool = True,
+    lazy_fill: bool = False,
+    fragment_chunks: int = 64,
+) -> IterationOutcome:
+    """Schedule one iteration; returns its accounting."""
+    out = IterationOutcome()
+    n = graph.n_vertices
+    bpe = graph.bytes_per_edge
+
+    # ➊ Generate the data maps (two bitmap passes + compaction scan).
+    t_map = gpu.vertex_scan(n, passes=2, label="gen-datamap", phase="Tmap")
+    static_bitmap = region.vertex_static_bitmap()
+    smap, odmap = split_active(state.active, static_bitmap)
+    plan = plan_ondemand(graph, odmap, _stream_cap(ondemand_alloc, region))
+
+    # ➋ Adaptive repartitioning (§3.3, Eq. 3).  During a lazy warm-up the
+    # region is empty by construction, which would read as "under-utilized"
+    # and shrink it to nothing — the check only makes sense once filled.
+    if adaptive and not (lazy_fill and region.free_chunks > 0):
+        v_static = active_edge_count(graph, smap) * bpe
+        v_total = v_static + plan.edge_bytes
+        decision = check_repartition(
+            v_ondemand=plan.total_bytes,
+            ondemand_capacity=ondemand_alloc.nbytes,
+            v_static=v_static,
+            static_capacity=max(static_alloc.nbytes, 1),
+            v_total=v_total,
+            dataset_bytes=max(graph.edge_array_bytes, 1),
+        )
+        if decision.repartition and decision.shrink_bytes > 0:
+            new_static = max(static_alloc.nbytes - decision.shrink_bytes, 0)
+            region.shrink_to(new_static)
+            freed = static_alloc.nbytes - region.capacity_chunks * region.chunk_bytes
+            gpu.memory.resize(static_alloc, region.capacity_chunks * region.chunk_bytes)
+            gpu.memory.resize(ondemand_alloc, ondemand_alloc.nbytes + freed)
+            out.repartitioned = True
+            # Bitmaps changed: regenerate the data map (§3.3).
+            t_map = gpu.vertex_scan(n, passes=2, label="regen-datamap", phase="Tmap")
+            static_bitmap = region.vertex_static_bitmap()
+            smap, odmap = split_active(state.active, static_bitmap)
+            plan = plan_ondemand(graph, odmap, _stream_cap(ondemand_alloc, region))
+
+    static_edges = active_edge_count(graph, smap)
+    out.static_edges = static_edges
+    out.ondemand_edges = plan.n_edges
+    out.ondemand_bytes = plan.total_bytes
+    out.n_rounds = plan.n_rounds
+
+    # ➌ Static computing — overlapped (or not) with the on-demand chain.
+    if overlap:
+        gpu.edge_kernel(
+            static_edges, label="static-compute", atomics=program.atomics,
+            after=t_map, phase="Tsr",
+        )
+        prev = gpu.d2h(plan.request_bytes, label="od-requests", after=t_map)
+        if plan.n_rounds > ROUND_LOOP_LIMIT:
+            _stream_aggregate(gpu, plan, program, after=prev, sequential=False)
+        else:
+            for rnd in plan.iter_rounds():
+                t_gather = gpu.cpu_gather(rnd.nbytes, label="od-gather",
+                                          after=prev, phase="Tfilling")
+                t_xfer = gpu.h2d(rnd.nbytes, label="od-transfer",
+                                 after=t_gather, phase="Ttransfer")
+                gpu.edge_kernel(rnd.n_edges, label="od-compute",
+                                atomics=program.atomics, after=t_xfer,
+                                phase="Tondemand")
+                prev = t_gather  # next gather may start while this round flies
+    else:
+        gpu.sync(gpu.edge_kernel(static_edges, label="static-compute",
+                                 atomics=program.atomics, after=t_map, phase="Tsr"))
+        gpu.sync(gpu.d2h(plan.request_bytes, label="od-requests"))
+        if plan.n_rounds > ROUND_LOOP_LIMIT:
+            _stream_aggregate(gpu, plan, program, after=gpu.clock.now, sequential=True)
+        else:
+            for rnd in plan.iter_rounds():
+                gpu.sync(gpu.cpu_gather(rnd.nbytes, label="od-gather", phase="Tfilling"))
+                gpu.sync(gpu.h2d(rnd.nbytes, label="od-transfer", phase="Ttransfer"))
+                gpu.sync(gpu.edge_kernel(rnd.n_edges, label="od-compute",
+                                         atomics=program.atomics, phase="Tondemand"))
+
+    # ➍½ Lazy fill: on-demand data that just landed on the device is kept
+    # in the Static Region while there is room (a device-side copy, free of
+    # PCIe traffic).  Once the region is full, §3.4 replacement takes over.
+    hotness.update(region.chunk_touch_counts(state.active))
+    if lazy_fill and region.free_chunks > 0:
+        promoted = region.promote_vertices(odmap)
+        out.promoted_chunks = promoted
+    # ➎ Static update during the on-demand compute window (§3.4).
+    elif replacement:
+        window = max(gpu.gpu.busy_until - gpu.copy.busy_until, 0.0)
+        usable = max(window - gpu.spec.pcie.latency, 0.0)
+        # The window buys paper-scale bytes; chunks are scaled bytes, so
+        # divide by the chunk's *charged* size.
+        charged_chunk = region.chunk_bytes * gpu.charge_scale
+        budget_chunks = int(usable * gpu.spec.pcie.bandwidth / charged_chunk)
+        swap = hotness.plan_swaps(region.resident, budget_chunks, fragment_chunks)
+        if swap.n_swaps:
+            moved = region.swap(swap.evict, swap.load)
+            out.swap_bytes = moved
+            gpu.cpu_gather(moved, label="swap-gather")
+            gpu.h2d(moved, label="static-swap", phase="Tswap")
+
+    gpu.sync()
+    return out
+
+
+#: Above this round count a per-round Python loop is pointless; the chain is
+#: charged in aggregate (identical totals, pipeline fill approximated by one
+#: round's offset per stage).
+ROUND_LOOP_LIMIT = 64
+
+
+def _stream_aggregate(gpu: SimulatedGPU, plan, program: VertexProgram,
+                      after: float, sequential: bool) -> None:
+    """Charge a many-round gather→transfer→compute chain in O(1) submits.
+
+    Each stage's total equals the sum over rounds (per-round fixed costs
+    included, which is the whole penalty of a degenerate on-demand region);
+    stage k starts one round after stage k-1, approximating the pipeline
+    (or strictly after it, when ``sequential``).
+    """
+    spec = gpu.spec
+    n = plan.n_rounds
+    charged_bytes = int(plan.total_bytes * gpu.charge_scale)
+    charged_edges = int(plan.n_edges * gpu.charge_scale)
+    gather_dur = n * spec.gather.setup + charged_bytes / spec.gather.bandwidth
+    payload = spec.pcie.payload_bytes(-(-charged_bytes // n)) * n if n else 0
+    xfer_dur = n * spec.pcie.latency + payload / spec.pcie.bandwidth
+    kern_dur = (
+        n * spec.kernel.launch_overhead
+        + (spec.kernel.atomic_penalty if program.atomics else 1.0)
+        * charged_edges / spec.kernel.edge_throughput
+    )
+    t_g = gpu.cpu.submit(gather_dur, "od-gather*", after=after)
+    t_x = gpu.copy.submit(
+        xfer_dur, "od-transfer*",
+        after=t_g if sequential else (t_g - gather_dur + gather_dur / n),
+    )
+    gpu.gpu.submit(
+        kern_dur, "od-compute*",
+        after=t_x if sequential else (t_x - xfer_dur + xfer_dur / n),
+    )
+    gpu.metrics.bytes_h2d += payload
+    gpu.metrics.h2d_transfers += n
+    gpu.metrics.kernel_launches += n
+    gpu.metrics.edges_processed += charged_edges
+    gpu.metrics.add_phase("Tfilling", gather_dur)
+    gpu.metrics.add_phase("Ttransfer", xfer_dur)
+    gpu.metrics.add_phase("Tondemand", kern_dur)
+
+
+def _stream_cap(ondemand_alloc: Allocation, region: StaticRegion) -> int:
+    """Effective round size: the on-demand region, floored at one chunk.
+
+    A degenerate (≈0-byte) on-demand region still streams chunk by chunk —
+    the pathological regime the right edge of Fig. 10 exposes.
+    """
+    return max(ondemand_alloc.nbytes, region.chunk_bytes)

@@ -1,0 +1,87 @@
+"""On-demand Engine planning (CPU side, §3.1).
+
+Given the OndemandMap (active vertices not covered by the Static Region),
+the On-demand Engine walks the vertex metadata (degrees/offsets), gathers
+the requested edges from the host CSR, and streams them to the On-demand
+Region — "similar to the scheme used in Subway" (§3.1).  When the gathered
+volume exceeds the region, it is processed in rounds (§3.3's motivation for
+not letting the region get too small).
+
+This module computes the *plan* — volumes and round schedule; the manager
+charges its costs to the simulated lanes.  Rounds are represented lazily:
+a pathologically small region (the right edge of Fig. 10's sweep) implies
+millions of rounds, which the manager charges in aggregate instead of
+looping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.algorithms.frontier import active_edge_count
+from repro.graph.csr import CSRGraph
+
+__all__ = ["OnDemandRound", "OnDemandPlan", "plan_ondemand", "OFFSET_BYTES_PER_VERTEX"]
+
+#: Bytes per on-demand vertex for the request/offset structures that ride
+#: along with the edges (mirrors Subway's SubVertex arrays).
+OFFSET_BYTES_PER_VERTEX = 8
+
+
+@dataclass(frozen=True)
+class OnDemandRound:
+    """One gather → transfer → compute round."""
+
+    n_edges: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class OnDemandPlan:
+    """The full on-demand schedule for one iteration."""
+
+    n_vertices: int
+    n_edges: int
+    edge_bytes: int
+    request_bytes: int
+    n_rounds: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.edge_bytes + self.request_bytes
+
+    def iter_rounds(self) -> Iterator[OnDemandRound]:
+        """Yield the rounds, volumes split as evenly as integer math allows."""
+        edges_left, bytes_left = self.n_edges, self.total_bytes
+        for r in range(self.n_rounds):
+            share_bytes = -(-bytes_left // (self.n_rounds - r))
+            share_edges = -(-edges_left // (self.n_rounds - r))
+            yield OnDemandRound(n_edges=share_edges, nbytes=share_bytes)
+            bytes_left -= share_bytes
+            edges_left -= share_edges
+
+
+def plan_ondemand(
+    graph: CSRGraph, ondemand_mask: np.ndarray, region_bytes: int
+) -> OnDemandPlan:
+    """Build the round schedule for this iteration's on-demand vertices."""
+    n_vertices = int(np.count_nonzero(ondemand_mask))
+    n_edges = active_edge_count(graph, ondemand_mask)
+    edge_bytes = n_edges * graph.bytes_per_edge
+    request_bytes = n_vertices * OFFSET_BYTES_PER_VERTEX
+    total = edge_bytes + request_bytes
+    if total > 0:
+        cap = max(int(region_bytes), 1)
+        n_rounds = max(-(-total // cap), 1)
+    else:
+        n_rounds = 0
+    return OnDemandPlan(
+        n_vertices=n_vertices,
+        n_edges=n_edges,
+        edge_bytes=edge_bytes,
+        request_bytes=request_bytes,
+        n_rounds=n_rounds,
+    )

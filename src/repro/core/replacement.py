@@ -1,0 +1,134 @@
+"""Data replacement in the Static Region (§3.4, Fig. 6).
+
+Each 16 KB chunk carries an access counter, folded in once per iteration
+(a chunk counts as *accessed* in an iteration if any active vertex's edge
+range touched it).  Per §3.4 the staleness semantics are
+algorithm-dependent:
+
+* ``"cumulative"`` (BFS-like, monotone frontiers): a chunk accessed in more
+  than ``stale_threshold`` past iterations has been consumed — monotone
+  algorithms never return to it;
+* ``"last"`` (PageRank-like, recurring frontiers): a chunk *not* accessed in
+  the previous iteration is cold.
+
+Swaps happen at **fragment** granularity — contiguous runs of chunks, the
+"fragments" of Fig. 6.  Chunk-scattered swaps would be useless: the vertex-
+level StaticBitmap requires a vertex's *whole* edge range resident, so
+loading isolated hot chunks buys no coverage, while evicting isolated
+chunks destroys the coverage of every vertex whose range they intersect.
+
+The server only gets the PCIe time left while the GPU processes the
+On-demand Region; the paper measures that window at ~28 % of iteration
+time, enough for only ~2 % of the data (§5) — which is why replacement
+barely moves the needle (the ablation benchmark reproduces that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HotnessTable", "SwapPlan"]
+
+
+@dataclass(frozen=True)
+class SwapPlan:
+    """Chunks to evict from / load into the Static Region this iteration."""
+
+    evict: np.ndarray
+    load: np.ndarray
+
+    @property
+    def n_swaps(self) -> int:
+        return int(self.load.size)
+
+
+class HotnessTable:
+    """Per-chunk access counters driving §3.4 replacement.
+
+    ``cumulative[c]`` counts iterations in which chunk ``c`` was touched;
+    ``last[c]`` is 1 iff it was touched in the most recent iteration.
+    """
+
+    def __init__(self, n_chunks: int, policy: str = "last", stale_threshold: int = 1):
+        if policy not in ("last", "cumulative"):
+            raise ValueError("policy must be 'last' or 'cumulative'")
+        if stale_threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.n_chunks = int(n_chunks)
+        self.policy = policy
+        self.stale_threshold = stale_threshold
+        self.cumulative = np.zeros(self.n_chunks, dtype=np.int64)
+        self.last = np.zeros(self.n_chunks, dtype=np.int64)
+
+    def update(self, touch_counts: np.ndarray) -> None:
+        """Fold one iteration's per-chunk access counts in (binarized)."""
+        if touch_counts.shape != (self.n_chunks,):
+            raise ValueError("touch_counts shape mismatch")
+        touched = (touch_counts > 0).astype(np.int64)
+        self.cumulative += touched
+        self.last = touched
+
+    def staleness(self) -> np.ndarray:
+        """Boolean: chunks considered stale under the configured policy."""
+        if self.policy == "cumulative":
+            # Consumed: touched in more than `threshold` iterations ever.
+            return self.cumulative > self.stale_threshold
+        # Cold: not touched in the last iteration (threshold-adjusted).
+        return self.last < self.stale_threshold
+
+    def hotness(self) -> np.ndarray:
+        """Ranking score for swap-in candidates (hotter = better)."""
+        return self.last if self.policy == "last" else -self.cumulative
+
+    def plan_swaps(
+        self, resident: np.ndarray, budget_chunks: int, fragment_chunks: int = 64
+    ) -> SwapPlan:
+        """Pick a balanced fragment-aligned swap of ≤ ``budget_chunks`` chunks.
+
+        A fragment qualifies for eviction when it is fully resident and
+        majority-stale, for loading when fully absent and majority-fresh.
+        The plan pairs the coldest eviction fragments with the hottest load
+        fragments, one for one, so the region stays exactly as full.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if budget_chunks <= 0 or self.n_chunks == 0 or fragment_chunks <= 0:
+            return SwapPlan(empty, empty)
+        if resident.shape != (self.n_chunks,):
+            raise ValueError("resident mask shape mismatch")
+        f = int(fragment_chunks)
+        n_frags = -(-self.n_chunks // f)
+        pad = n_frags * f - self.n_chunks
+
+        def frag_sum(x: np.ndarray) -> np.ndarray:
+            return np.pad(x, (0, pad)).reshape(n_frags, f).sum(axis=1)
+
+        res_cnt = frag_sum(resident.astype(np.int64))
+        stale_cnt = frag_sum(self.staleness().astype(np.int64))
+        hot = frag_sum(self.hotness())
+        sizes = np.full(n_frags, f, dtype=np.int64)
+        if pad:
+            sizes[-1] = f - pad
+        evict_ok = (res_cnt == sizes) & (stale_cnt * 2 > sizes)
+        load_ok = (res_cnt == 0) & (stale_cnt * 2 <= sizes)
+        evict_frags = np.nonzero(evict_ok)[0]
+        load_frags = np.nonzero(load_ok)[0]
+        if evict_frags.size == 0 or load_frags.size == 0:
+            return SwapPlan(empty, empty)
+        k = min(budget_chunks // f, evict_frags.size, load_frags.size)
+        if k <= 0:
+            return SwapPlan(empty, empty)
+        evict_frags = evict_frags[np.argsort(hot[evict_frags], kind="stable")[:k]]
+        load_frags = load_frags[np.argsort(-hot[load_frags], kind="stable")[:k]]
+        evict = _expand_fragments(evict_frags, f, self.n_chunks)
+        load = _expand_fragments(load_frags, f, self.n_chunks)
+        # Keep the plan balanced chunk-for-chunk (tail fragment is shorter).
+        k_chunks = min(evict.size, load.size)
+        return SwapPlan(evict=evict[:k_chunks], load=load[:k_chunks])
+
+
+def _expand_fragments(frags: np.ndarray, f: int, n_chunks: int) -> np.ndarray:
+    """Chunk ids of the given fragments, clipped to the chunk space."""
+    ids = (frags[:, None] * f + np.arange(f)[None, :]).ravel()
+    return ids[ids < n_chunks]

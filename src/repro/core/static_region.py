@@ -1,0 +1,213 @@
+"""The Static Region's chunk table (§3.1, §3.4).
+
+The edge array is divided into fixed 16 KB chunks ("amenable to the PCI-e
+burst transfer mechanism", §3.4); the Static Region holds some subset of
+them on the device across iterations.  This class tracks residency, derives
+the vertex-granularity **StaticBitmap** (a vertex is static iff *all*
+chunks its edge range touches are resident — a partially-covered vertex is
+fetched through the On-demand Engine in full, matching the paper's
+vertex-level maps), and applies swap plans from the replacement server.
+
+Fill policies (§5): the initial content can be the ``front`` portion, the
+``rear`` portion, or ``random`` chunks — the paper measures < 5 % difference
+between them, which ``benchmarks/bench_ablations.py`` reproduces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["StaticRegion", "DEFAULT_CHUNK_BYTES"]
+
+#: §3.4: 16 KB chunks.
+DEFAULT_CHUNK_BYTES = 16 * 1024
+
+
+class StaticRegion:
+    """Chunk-granular residency of the edge array on the device."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        capacity_bytes: int,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        fill: str = "front",
+        seed: int = 0,
+        fragment_chunks: int = 64,
+    ) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        if chunk_bytes <= 0:
+            raise ValueError("chunk size must be positive")
+        if fragment_chunks <= 0:
+            raise ValueError("fragment size must be positive")
+        self.graph = graph
+        self.chunk_bytes = int(chunk_bytes)
+        self.fragment_chunks = int(fragment_chunks)
+        edge_bytes = graph.edge_array_bytes
+        self.n_chunks = -(-edge_bytes // self.chunk_bytes) if edge_bytes else 0
+        self.capacity_chunks = min(int(capacity_bytes) // self.chunk_bytes, self.n_chunks)
+        self.resident = np.zeros(self.n_chunks, dtype=bool)
+        self._fill(fill, seed)
+        self._vertex_bitmap: np.ndarray | None = None
+        # Precompute each vertex's chunk span once (degree-0 handled below).
+        bpe = graph.bytes_per_edge
+        lo = graph.indptr[:-1] * bpe
+        hi = graph.indptr[1:] * bpe
+        self._has_edges = hi > lo
+        self._c_lo = np.where(self._has_edges, lo // self.chunk_bytes, 0)
+        self._c_hi = np.where(self._has_edges, (hi - 1) // self.chunk_bytes, -1)
+
+    def _fill(self, fill: str, seed: int) -> None:
+        if fill not in ("lazy", "front", "rear", "random"):
+            raise ValueError(f"unknown fill policy {fill!r} (lazy/front/rear/random)")
+        k = self.capacity_chunks
+        if fill == "lazy":
+            # Start empty; chunks are promoted from on-demand traffic as it
+            # arrives (no dedicated prefill transfer at all).
+            return
+        if k == 0:
+            return
+        if fill == "front":
+            self.resident[:k] = True
+        elif fill == "rear":
+            self.resident[self.n_chunks - k :] = True
+        else:  # random
+            # Random at *fragment* granularity (Fig. 6): scattering single
+            # chunks would leave almost no vertex fully covered, while
+            # random contiguous runs spread coverage evenly over the edge
+            # array — the property §5's conjecture relies on.
+            rng = np.random.default_rng(seed)
+            f = self.fragment_chunks
+            n_frags = -(-self.n_chunks // f)
+            want = max(k // f, 1)
+            frags = rng.choice(n_frags, size=min(want, n_frags), replace=False)
+            for fr in frags:
+                self.resident[fr * f : min((fr + 1) * f, self.n_chunks)] = True
+            # Trim overshoot from the last fragment to respect capacity.
+            over = self.resident_chunks - k
+            if over > 0:
+                ids = np.nonzero(self.resident)[0]
+                self.resident[ids[-over:]] = False
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def resident_chunks(self) -> int:
+        return int(np.count_nonzero(self.resident))
+
+    @property
+    def resident_bytes(self) -> int:
+        return self.resident_chunks * self.chunk_bytes
+
+    def vertex_static_bitmap(self) -> np.ndarray:
+        """StaticBitmap: vertices whose whole edge range is resident.
+
+        Degree-0 vertices are static by convention (they need no edge data).
+        Cached; invalidated by :meth:`swap` and :meth:`shrink_to`.
+        """
+        if self._vertex_bitmap is None:
+            if self.n_chunks == 0:
+                self._vertex_bitmap = np.ones(self.graph.n_vertices, dtype=bool)
+            else:
+                cum = np.concatenate(([0], np.cumsum(self.resident)))
+                span = self._c_hi - self._c_lo + 1
+                covered = cum[self._c_hi + 1] - cum[self._c_lo]
+                self._vertex_bitmap = np.where(self._has_edges, covered == span, True)
+        return self._vertex_bitmap
+
+    def chunk_touch_counts(self, active: np.ndarray) -> np.ndarray:
+        """Per-chunk access counts from the active vertices' edge ranges.
+
+        Feeds the §3.4 hotness table.  Vectorized with the range-mark trick.
+        """
+        counts = np.zeros(self.n_chunks, dtype=np.int64)
+        if self.n_chunks == 0:
+            return counts
+        vs = np.nonzero(active & self._has_edges)[0]
+        if vs.size == 0:
+            return counts
+        diff = np.zeros(self.n_chunks + 1, dtype=np.int64)
+        np.add.at(diff, self._c_lo[vs], 1)
+        np.add.at(diff, self._c_hi[vs] + 1, -1)
+        return np.cumsum(diff[:-1])
+
+    @property
+    def free_chunks(self) -> int:
+        return self.capacity_chunks - self.resident_chunks
+
+    # ------------------------------------------------------------ mutation
+    def promote_vertices(self, mask: np.ndarray, max_new_chunks: int | None = None) -> int:
+        """Lazy fill: keep on-demand-fetched vertices' chunks in the region.
+
+        Takes vertices from ``mask`` in id order and marks their whole chunk
+        spans resident until the region is full (promoting partial vertices
+        would buy no coverage).  The data is already on the device — it just
+        arrived in the On-demand Region — so promotion is a device-side copy
+        and costs no PCIe traffic.  Returns the number of chunks promoted.
+        """
+        budget = self.free_chunks if max_new_chunks is None else min(
+            self.free_chunks, int(max_new_chunks)
+        )
+        if budget <= 0 or self.n_chunks == 0:
+            return 0
+        vs = np.nonzero(mask & self._has_edges)[0]
+        if vs.size == 0:
+            return 0
+        c_lo, c_hi = self._c_lo[vs], self._c_hi[vs]
+        cum = np.concatenate(([0], np.cumsum(self.resident)))
+        new_per_vertex = (c_hi - c_lo + 1) - (cum[c_hi + 1] - cum[c_lo])
+        take = np.cumsum(new_per_vertex) <= budget
+        if not take.any():
+            return 0
+        c_lo, c_hi = c_lo[take], c_hi[take]
+        diff = np.zeros(self.n_chunks + 1, dtype=np.int64)
+        np.add.at(diff, c_lo, 1)
+        np.add.at(diff, c_hi + 1, -1)
+        span = np.cumsum(diff[:-1]) > 0
+        before = self.resident_chunks
+        self.resident |= span
+        self._vertex_bitmap = None
+        return self.resident_chunks - before
+
+    def swap(self, evict: np.ndarray, load: np.ndarray) -> int:
+        """Apply a replacement plan; returns bytes transferred H2D.
+
+        ``evict`` must be resident, ``load`` non-resident, and the region
+        may not overflow its capacity.  Edge data is read-only, so eviction
+        costs no writeback.
+        """
+        evict = np.asarray(evict, dtype=np.int64)
+        load = np.asarray(load, dtype=np.int64)
+        if evict.size and not self.resident[evict].all():
+            raise ValueError("evicting a non-resident chunk")
+        if load.size and self.resident[load].any():
+            raise ValueError("loading an already-resident chunk")
+        if self.resident_chunks - evict.size + load.size > self.capacity_chunks:
+            raise ValueError("swap would overflow the static region")
+        self.resident[evict] = False
+        self.resident[load] = True
+        self._vertex_bitmap = None
+        return int(load.size) * self.chunk_bytes
+
+    def shrink_to(self, capacity_bytes: int) -> int:
+        """Adaptive repartition (Eq. 3): give chunks back to the on-demand region.
+
+        Drops the coldest-positioned (highest-id) resident chunks first —
+        eviction is free (read-only data) — and returns the number of chunks
+        released.
+        """
+        new_cap = max(int(capacity_bytes) // self.chunk_bytes, 0)
+        if new_cap >= self.capacity_chunks:
+            self.capacity_chunks = new_cap
+            return 0
+        excess = self.resident_chunks - new_cap
+        self.capacity_chunks = new_cap
+        if excess <= 0:
+            return 0
+        resident_ids = np.nonzero(self.resident)[0]
+        victims = resident_ids[-excess:]
+        self.resident[victims] = False
+        self._vertex_bitmap = None
+        return int(victims.size)

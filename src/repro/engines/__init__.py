@@ -1,0 +1,32 @@
+"""Out-of-GPU-memory processing engines.
+
+The three baselines the paper compares against (§4.1):
+
+* :class:`~repro.engines.partition_based.PartitionEngine` — **PT**: the
+  GraphReduce-style scheme that swaps whole graph partitions through GPU
+  memory every iteration;
+* :class:`~repro.engines.uvm_engine.UVMEngine` — **UVM**: NVIDIA Unified
+  Virtual Memory demand paging with LRU eviction and ``cudaMemAdvise``;
+* :class:`~repro.engines.subway.SubwayEngine` — **Subway** (EuroSys '20):
+  fine-grained per-iteration subgraph gathering, with the sequential
+  GenDataMap → Gather → Transfer → Compute pipeline of Fig. 5.
+
+The paper's own engine, Ascetic, lives in :mod:`repro.core`.  All engines
+run the same :class:`~repro.algorithms.base.VertexProgram` and produce
+bit-identical vertex values; they differ only in how edge data reaches the
+simulated GPU — which is the entire subject of the paper.
+"""
+
+from repro.engines.base import Engine, IterationRecord, RunResult
+from repro.engines.partition_based import PartitionEngine
+from repro.engines.uvm_engine import UVMEngine
+from repro.engines.subway import SubwayEngine
+
+__all__ = [
+    "Engine",
+    "IterationRecord",
+    "RunResult",
+    "PartitionEngine",
+    "UVMEngine",
+    "SubwayEngine",
+]

@@ -1,0 +1,220 @@
+"""Engine contract and run results.
+
+An engine executes one :class:`~repro.algorithms.base.VertexProgram` on one
+graph against a fresh :class:`~repro.gpusim.device.SimulatedGPU`, charging
+every byte it moves and every kernel it launches to the virtual clock.  The
+numeric computation itself is identical across engines (see
+``VertexProgram.step``); what an engine contributes is a *data-movement
+policy* — which is what the paper evaluates.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.algorithms.base import ProgramState, VertexProgram
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import GPUSpec, SimulatedGPU
+from repro.gpusim.metrics import Metrics
+
+__all__ = ["Engine", "IterationRecord", "RunResult"]
+
+#: Optional per-iteration observer: ``hook(engine, gpu, graph, state)`` runs
+#: before each superstep (used by the analysis tooling to trace accesses).
+IterationHook = Callable[["Engine", SimulatedGPU, CSRGraph, ProgramState], None]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Telemetry of one superstep."""
+
+    iteration: int
+    n_active_vertices: int
+    n_active_edges: int
+    bytes_h2d: int
+    t_start: float
+    t_end: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass
+class RunResult:
+    """Everything a finished engine run reports."""
+
+    engine: str
+    algorithm: str
+    graph_name: str
+    values: np.ndarray
+    iterations: int
+    elapsed_seconds: float
+    metrics: Metrics
+    gpu_idle_fraction: float
+    per_iteration: List[IterationRecord] = field(default_factory=list)
+    #: Engine-specific extras (e.g. Ascetic's static prefill bytes, the
+    #: chosen static ratio, UVM fault totals).
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bytes_h2d(self) -> int:
+        return self.metrics.bytes_h2d
+
+    @property
+    def processing_bytes_h2d(self) -> float:
+        """H2D bytes excluding any Static Region prestore.
+
+        The paper's transfer comparisons report processing traffic without
+        the one-time prefill (Fig. 7's note; Table 5's sub-dataset BFS/CC
+        volumes) — this is that number.  Equal to :attr:`bytes_h2d` for
+        engines without a prestore.
+        """
+        return self.metrics.bytes_h2d - self.extra.get("static_prefill_bytes", 0.0)
+
+    @property
+    def transfer_over_dataset(self) -> float:
+        """Processing bytes H2D / dataset size — the normalization of Table 5."""
+        size = self.extra.get("dataset_bytes", 0.0)
+        return self.processing_bytes_h2d / size if size else float("nan")
+
+    def summary(self) -> str:
+        return (
+            f"{self.engine:>8} {self.algorithm:<4} on {self.graph_name:<12} "
+            f"{self.elapsed_seconds:9.4f}s  h2d={self.metrics.bytes_h2d / 1e6:9.2f}MB  "
+            f"iters={self.iterations:<4d} idle={self.gpu_idle_fraction:5.1%}"
+        )
+
+
+class Engine(abc.ABC):
+    """Base class for all data-movement policies.
+
+    Parameters
+    ----------
+    spec:
+        The simulated platform (cost model + device-memory cap, in
+        *scaled* bytes — i.e. already multiplied by ``data_scale``).
+    record_spans:
+        Keep a full timeline (slower; used by overlap tests and plots).
+    max_iterations:
+        Safety cap overriding the program's own.
+    data_scale:
+        The dataset down-scaling factor ``s`` (see
+        :class:`~repro.gpusim.device.SimulatedGPU`): costs are charged at
+        paper scale (``bytes / s``), and byte-granular geometry (UVM pages,
+        Ascetic chunks) shrinks by ``s`` so page/chunk *counts* match the
+        paper.  ``1.0`` means the graph is at its natural size.
+    """
+
+    name: str = "?"
+
+    def __init__(
+        self,
+        spec: GPUSpec | None = None,
+        record_spans: bool = False,
+        max_iterations: Optional[int] = None,
+        data_scale: float = 1.0,
+    ) -> None:
+        if data_scale <= 0 or data_scale > 1.0:
+            raise ValueError("data_scale must be in (0, 1]")
+        self.spec = spec or GPUSpec()
+        self.record_spans = record_spans
+        self.max_iterations = max_iterations
+        self.data_scale = data_scale
+        self.iteration_hook: Optional[IterationHook] = None
+
+    def scaled_bytes(self, nbytes: int, floor: int = 1) -> int:
+        """Scale a paper-scale byte geometry down to this run's data scale."""
+        return max(int(nbytes * self.data_scale), floor)
+
+    # ------------------------------------------------------------ interface
+    @abc.abstractmethod
+    def _prepare(self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram) -> None:
+        """Allocate device regions and do one-time setup (charged to the clock)."""
+
+    @abc.abstractmethod
+    def _iteration(
+        self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram, state: ProgramState
+    ) -> None:
+        """Account one superstep's data movement + compute on the clock.
+
+        Called with ``state.active`` being the frontier about to be
+        processed; must leave the clock at the iteration's completion time.
+        The numeric update itself is performed by the caller (``run``).
+        """
+
+    def _finish(self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram,
+                state: ProgramState) -> None:
+        """Optional teardown accounting (e.g. copy results back)."""
+        gpu.d2h(self._result_bytes(graph), label="results")
+        gpu.sync()
+
+    # ----------------------------------------------------------- main loop
+    def run(self, graph: CSRGraph, program: VertexProgram) -> RunResult:
+        """Execute ``program`` on ``graph``; returns values + accounting."""
+        program.validate_graph(graph)
+        gpu = SimulatedGPU(
+            self.spec,
+            record_spans=self.record_spans,
+            charge_scale=1.0 / self.data_scale,
+        )
+        state = program.init_state(graph)
+        self._prepare(gpu, graph, program)
+        gpu.sync()
+
+        records: List[IterationRecord] = []
+        cap = self.max_iterations if self.max_iterations is not None else program.max_iterations
+        while state.active.any() and state.iteration < cap and not program.done(state):
+            if self.iteration_hook is not None:
+                self.iteration_hook(self, gpu, graph, state)
+            t0 = gpu.clock.now
+            h2d0 = gpu.metrics.bytes_h2d
+            n_active = state.n_active
+            from repro.algorithms.frontier import active_edge_count
+
+            n_edges = active_edge_count(graph, state.active)
+            self._iteration(gpu, graph, program, state)
+            program.step(graph, state)
+            gpu.sync()
+            records.append(
+                IterationRecord(
+                    iteration=state.iteration - 1,
+                    n_active_vertices=n_active,
+                    n_active_edges=n_edges,
+                    bytes_h2d=gpu.metrics.bytes_h2d - h2d0,
+                    t_start=t0,
+                    t_end=gpu.clock.now,
+                )
+            )
+        self._finish(gpu, graph, program, state)
+
+        result = RunResult(
+            engine=self.name,
+            algorithm=program.name,
+            graph_name=graph.name,
+            values=program.values(state),
+            iterations=state.iteration,
+            elapsed_seconds=gpu.elapsed,
+            metrics=gpu.metrics,
+            gpu_idle_fraction=gpu.gpu_idle_fraction(),
+            per_iteration=records,
+            extra={"dataset_bytes": graph.dataset_bytes / self.data_scale},
+        )
+        self._report_extra(result, gpu, graph)
+        return result
+
+    # ------------------------------------------------------------- helpers
+    def _report_extra(self, result: RunResult, gpu: SimulatedGPU, graph: CSRGraph) -> None:
+        """Subclasses append engine-specific numbers to ``result.extra``."""
+
+    @staticmethod
+    def _vertex_state_bytes(graph: CSRGraph) -> int:
+        return graph.vertex_state_bytes
+
+    @staticmethod
+    def _result_bytes(graph: CSRGraph) -> int:
+        return graph.n_vertices * 8

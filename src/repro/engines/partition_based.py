@@ -1,0 +1,116 @@
+"""PT — the partition-based baseline (GraphReduce-style, §2.1).
+
+The graph's edge array is split into partitions sized to the GPU memory left
+after vertex state.  Every iteration, each partition containing at least one
+active vertex is shipped whole to the device and processed; the next
+iteration ships it again (nothing persists — Fig. 1's "Partition" row).
+Transfers and kernels are sequential on purpose: this baseline is the
+swap-everything scheme the paper normalizes Tables 4 and 5 to, and its
+defining property is that moved bytes ≫ useful bytes (Table 5 shows
+10–218× the dataset size).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.algorithms.base import ProgramState, VertexProgram
+from repro.engines.base import Engine, RunResult
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import EdgePartition, partition_by_bytes, partitions_of_vertices
+from repro.gpusim.device import SimulatedGPU
+
+__all__ = ["PartitionEngine"]
+
+
+class PartitionEngine(Engine):
+    """PT, with an optional GraphReduce-style double buffer.
+
+    ``double_buffer=False`` (the default, and the baseline the paper
+    normalizes to) swaps one partition at a time: the kernel waits for the
+    transfer, the next transfer waits for the kernel.  ``double_buffer=True``
+    halves the partition size and pipelines: partition *i+1* streams in
+    while partition *i* computes — the classic optimization GraphReduce
+    applies, exposed here for the ablation bench.
+    """
+
+    name = "PT"
+
+    def __init__(self, spec=None, record_spans=False, max_iterations=None,
+                 data_scale=1.0, double_buffer: bool = False,
+                 pinned_partitions: int = 0):
+        super().__init__(spec, record_spans, max_iterations, data_scale)
+        if pinned_partitions < 0:
+            raise ValueError("pinned_partitions must be non-negative")
+        self.double_buffer = double_buffer
+        #: Fig. 1's "Partition + Reuse" row: keep the first k partitions
+        #: resident across iterations (§1 measures the idea at 1306 GB →
+        #: 966 GB on PR/FK before generalizing it into the Static Region).
+        self.pinned_partitions = pinned_partitions
+
+    def _prepare(self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram) -> None:
+        from repro.gpusim.memory import GPUOutOfMemory
+
+        gpu.memory.alloc("vertex_state", self._vertex_state_bytes(graph))
+        budget = gpu.memory.available
+        if budget <= 0:
+            raise GPUOutOfMemory("no device memory left for a partition buffer")
+        # Pinned partitions carve their share off the streaming budget.
+        n_slots = (2 if self.double_buffer else 1) + self.pinned_partitions
+        part_budget = budget // n_slots
+        if part_budget <= 0:
+            raise GPUOutOfMemory("device memory too small for the buffer layout")
+        self._parts: List[EdgePartition] = partition_by_bytes(graph, part_budget)
+        self._n_pinned = min(self.pinned_partitions, len(self._parts))
+        buf = min(part_budget, max(p.nbytes for p in self._parts))
+        gpu.memory.alloc("partition_buffer", buf)
+        if self.double_buffer:
+            gpu.memory.alloc("partition_buffer_2", buf)
+        # Vertex state (values + offsets + bitmaps) is shipped once, then
+        # the pinned partitions (their transfer counts, like any prestore).
+        gpu.h2d(self._vertex_state_bytes(graph), label="vertex-state")
+        pinned_bytes = sum(p.nbytes for p in self._parts[: self._n_pinned])
+        if pinned_bytes:
+            gpu.memory.alloc("pinned_partitions", pinned_bytes)
+            gpu.h2d(pinned_bytes, label="pinned-partitions")
+
+    def _iteration(
+        self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram, state: ProgramState
+    ) -> None:
+        touched = partitions_of_vertices(graph, self._parts, state.active)
+        if not touched.any():
+            return
+        gpu.vertex_scan(graph.n_vertices, passes=1, label="gen-active")
+        # kernel_ends[-2] gates the transfer into a reused buffer: with one
+        # buffer the previous kernel, with two the one before it.
+        lag = 2 if self.double_buffer else 1
+        kernel_ends: List[float] = []
+        for pid in np.nonzero(touched)[0]:
+            part = self._parts[pid]
+            if pid < self._n_pinned:
+                # Resident across iterations (Fig. 1 "Partition + Reuse"):
+                # compute straight away, nothing to transfer.  Does not
+                # gate the streaming buffers (kernel_ends tracks only
+                # partitions that occupy them).
+                gpu.edge_kernel(part.n_edges, label=f"compute{pid}",
+                                atomics=program.atomics, phase="Tcompute")
+                continue
+            gate = kernel_ends[-lag] if len(kernel_ends) >= lag else 0.0
+            t_x = gpu.h2d(part.nbytes, label=f"part{pid}", after=gate,
+                          phase="Ttransfer")
+            # Partition-granular processing is *redundant* by construction:
+            # the kernel sweeps the whole partition, active or not (§2.1).
+            t_k = gpu.edge_kernel(
+                part.n_edges,
+                label=f"compute{pid}",
+                atomics=program.atomics,
+                after=t_x,
+                phase="Tcompute",
+            )
+            kernel_ends.append(t_k)
+        gpu.sync()
+
+    def _report_extra(self, result: RunResult, gpu: SimulatedGPU, graph: CSRGraph) -> None:
+        result.extra["n_partitions"] = float(len(self._parts))

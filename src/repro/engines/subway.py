@@ -1,0 +1,147 @@
+"""Subway — the state-of-the-art baseline (Sabet et al., EuroSys '20; §2.2).
+
+Per iteration, three strictly sequential steps (the paper's Fig. 5 top row):
+
+(a) the GPU generates the sub-graph structure for the current frontier
+    (GenDataMap) and sends the request list to the CPU;
+(b) CPU threads gather exactly the active edges into a pinned staging
+    buffer, which is then copied over PCIe;
+(c) the GPU processes the gathered subgraph.
+
+Because the steps serialize, the GPU idles through (b) — the §2.2
+measurement this engine reproduces ("68 % of GPU time is idle in BFS on
+Friendster").  Data volume is minimal (only active edges move — Table 5's
+~1–4×), but nothing is reused across iterations and most of GPU memory sits
+empty (Table 2).
+
+A frontier whose gathered subgraph exceeds the staging region is processed
+in rounds, each a full gather → transfer → compute sequence.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import ProgramState, VertexProgram
+from repro.algorithms.frontier import active_edge_count
+from repro.engines.base import Engine, RunResult
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import SimulatedGPU
+
+__all__ = ["SubwayEngine"]
+
+#: Bytes per active vertex for the subgraph's offset/degree arrays that
+#: accompany the gathered edges (Subway's SubVertex structure).
+OFFSET_BYTES_PER_ACTIVE_VERTEX = 8
+
+
+class SubwayEngine(Engine):
+    """Subway, with an optional pipelined mode.
+
+    ``pipelined=False`` is the paper's baseline: strictly sequential
+    GenDataMap → Gather → Transfer → Compute (the top row of Fig. 5).
+    ``pipelined=True`` lets a multi-round iteration overlap round *r+1*'s
+    gather with round *r*'s transfer/compute — it quantifies how much of
+    Ascetic's win is mere pipelining versus the Static Region (spoiler,
+    reproduced in ``bench_engine_variants``: pipelining alone recovers only
+    part of the gap, because single-round iterations have nothing to
+    pipeline while Ascetic still overlaps against static compute).
+    """
+
+    name = "Subway"
+
+    def __init__(self, spec=None, record_spans=False, max_iterations=None,
+                 data_scale=1.0, pipelined: bool = False,
+                 materialize: bool = False):
+        super().__init__(spec, record_spans, max_iterations, data_scale)
+        self.pipelined = pipelined
+        #: Physically build each iteration's SubCSR (the buffer a real
+        #: system DMAs) instead of only costing it.  Slower; the staged
+        #: byte count feeds the cost model directly, cross-validating the
+        #: closed-form accounting (and is itself validated against the
+        #: source graph).
+        self.materialize = materialize
+
+    def _prepare(self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram) -> None:
+        gpu.memory.alloc("vertex_state", self._vertex_state_bytes(graph))
+        budget = gpu.memory.available
+        if budget <= 0:
+            from repro.gpusim.memory import GPUOutOfMemory
+
+            raise GPUOutOfMemory("no device memory left for the subgraph buffer")
+        if self.pipelined:
+            # Two staging halves so one can fill while the other computes.
+            self._staging_bytes = budget // 2
+            gpu.memory.alloc("subgraph_buffer_a", self._staging_bytes)
+            gpu.memory.alloc("subgraph_buffer_b", budget - self._staging_bytes)
+        else:
+            self._staging_bytes = budget
+            gpu.memory.alloc("subgraph_buffer", budget)
+        gpu.h2d(self._vertex_state_bytes(graph), label="vertex-state")
+        self._sum_iteration_bytes = 0
+        self._n_iterations = 0
+
+    def _iteration(
+        self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram, state: ProgramState
+    ) -> None:
+        if self.materialize:
+            from repro.graph.subgraph import extract_subgraph
+
+            sub = extract_subgraph(graph, state.active)
+            sub.validate_against(graph)
+            n_edges = sub.n_edges
+            offset_bytes = sub.offset_nbytes
+            total_bytes = sub.nbytes
+        else:
+            n_edges = active_edge_count(graph, state.active)
+            edge_bytes = n_edges * graph.bytes_per_edge
+            offset_bytes = state.n_active * OFFSET_BYTES_PER_ACTIVE_VERTEX
+            total_bytes = edge_bytes + offset_bytes
+        self._sum_iteration_bytes += total_bytes
+        self._n_iterations += 1
+
+        # (a) GenDataMap on the GPU + request list down to the host.
+        done = gpu.vertex_scan(graph.n_vertices, passes=2, label="gen-datamap",
+                               phase="Tmap")
+        gpu.sync(done)
+        gpu.sync(gpu.d2h(offset_bytes, label="requests"))
+
+        # With two staging halves, pipelined mode lets round r+1 gather
+        # while round r flies/computes.
+        rounds = max(-(-total_bytes // self._staging_bytes), 1)
+        if self.pipelined and rounds == 1 and total_bytes > 0:
+            rounds = 2  # split to expose pipelining within the iteration
+        edges_left, bytes_left = n_edges, total_bytes
+        prev_gather = 0.0
+        for r in range(rounds):
+            r_bytes = -(-bytes_left // (rounds - r))
+            r_edges = -(-edges_left // (rounds - r))
+            bytes_left -= r_bytes
+            edges_left -= r_edges
+            if self.pipelined:
+                t_g = gpu.cpu_gather(r_bytes, label="gather",
+                                     after=prev_gather, phase="Tfilling")
+                t_x = gpu.h2d(r_bytes, label="subgraph", after=t_g,
+                              phase="Ttransfer")
+                gpu.edge_kernel(r_edges, label="compute",
+                                atomics=program.atomics, after=t_x,
+                                phase="Tcompute")
+                prev_gather = t_g
+            else:
+                # (b) host gather, then PCIe copy — GPU idles throughout.
+                done = gpu.cpu_gather(r_bytes, label="gather", phase="Tfilling")
+                gpu.sync(done)
+                done = gpu.h2d(r_bytes, label="subgraph", phase="Ttransfer")
+                gpu.sync(done)
+                # (c) compute on the gathered subgraph.
+                done = gpu.edge_kernel(r_edges, label="compute",
+                                       atomics=program.atomics, phase="Tcompute")
+                gpu.sync(done)
+        gpu.sync()
+
+    def _report_extra(self, result: RunResult, gpu: SimulatedGPU, graph: CSRGraph) -> None:
+        # Paper-scale bytes, like every reported byte quantity.
+        up = 1.0 / self.data_scale
+        if self._n_iterations:
+            result.extra["avg_iteration_bytes"] = (
+                self._sum_iteration_bytes / self._n_iterations * up
+            )
+        result.extra["staging_bytes"] = self._staging_bytes * up

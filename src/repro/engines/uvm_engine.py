@@ -1,0 +1,147 @@
+"""UVM — the Unified Virtual Memory baseline (§2.1, §4.4).
+
+Vertices live in device memory; the edge array is a managed allocation whose
+pages migrate to the GPU on first touch and are evicted LRU under
+oversubscription.  Three modelled effects match the paper's §4.4 diagnosis:
+
+* *page amplification*: a touched edge drags its whole page across PCIe,
+  so sparse frontiers move far more bytes than they use;
+* *defeated LRU*: reuse distances are the whole dataset, so pages are
+  evicted long before their next-iteration reuse (Fig. 1's thrashing);
+* *fault overhead*: faults stall the kernel; they are serviced in driver
+  batches, each charged ``uvm_fault_latency`` on the GPU lane.
+
+``pin_fraction`` reserves a prefix of the edge array on-device via
+``cudaMemAdvise(SetPreferredLocation)`` — the paper's UVM baseline applies
+such advice (§4.1).  Pinned pages never fault and never move again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import ProgramState, VertexProgram
+from repro.engines.base import Engine, RunResult
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import GPUSpec, SimulatedGPU
+from repro.gpusim.uvm import UVMMemory
+
+__all__ = ["UVMEngine"]
+
+
+class UVMEngine(Engine):
+    """The UVM baseline: demand-paged edges, LRU eviction, memadvise pinning.
+
+    See the module docstring for the three modelled §4.4 penalties.
+    """
+
+    name = "UVM"
+
+    def __init__(
+        self,
+        spec: GPUSpec | None = None,
+        record_spans: bool = False,
+        max_iterations: int | None = None,
+        data_scale: float = 1.0,
+        pin_fraction: float = 0.25,
+    ) -> None:
+        super().__init__(spec, record_spans, max_iterations, data_scale)
+        if not 0.0 <= pin_fraction <= 1.0:
+            raise ValueError("pin_fraction must be in [0, 1]")
+        self.pin_fraction = pin_fraction
+        #: Optional access-trace recorder with ``record(t, chunk_ids)``
+        #: (duck-typed; see :mod:`repro.analysis.traces`).  Fig. 2 is
+        #: produced through this hook — the paper acquired the same signal
+        #: with nvprof on UVM.
+        self.trace = None
+
+    def _prepare(self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram) -> None:
+        gpu.memory.alloc("vertex_state", self._vertex_state_bytes(graph))
+        capacity = gpu.memory.available
+        gpu.memory.alloc("uvm_resident_pool", capacity)
+        # Page geometry scales with the data so the page *count* — and with
+        # it fault counts and LRU behaviour — matches the paper-scale run.
+        self._uvm = UVMMemory(
+            managed_bytes=graph.edge_array_bytes,
+            capacity_bytes=capacity,
+            page_size=self.scaled_bytes(gpu.spec.uvm_page_size),
+        )
+        gpu.h2d(self._vertex_state_bytes(graph), label="vertex-state")
+        if self.pin_fraction > 0.0 and self._uvm.n_pages:
+            # Pin a prefix of the edge array sized relative to *capacity*
+            # (pinning relative to the dataset could starve the pager).
+            n_pin = min(
+                int(self._uvm.capacity_pages * self.pin_fraction),
+                self._uvm.n_pages,
+                max(self._uvm.capacity_pages - 1, 0),
+            )
+            if n_pin > 0:
+                moved = self._uvm.advise_pin(np.arange(n_pin, dtype=np.int64))
+                gpu.h2d(moved, label="memadvise-prefetch")
+
+    def _touched_pages(self, graph: CSRGraph, active: np.ndarray) -> np.ndarray:
+        """Unique page ids the active vertices' edge ranges cover (vectorized)."""
+        vs = np.nonzero(active)[0]
+        if vs.size == 0 or self._uvm.n_pages == 0:
+            return np.empty(0, dtype=np.int64)
+        bpe = graph.bytes_per_edge
+        lo = graph.indptr[vs] * bpe
+        hi = graph.indptr[vs + 1] * bpe
+        has = hi > lo
+        lo, hi = lo[has], hi[has]
+        if lo.size == 0:
+            return np.empty(0, dtype=np.int64)
+        p_lo = lo // self._uvm.page_size
+        p_hi = (hi - 1) // self._uvm.page_size
+        marks = np.zeros(self._uvm.n_pages + 1, dtype=np.int64)
+        np.add.at(marks, p_lo, 1)
+        np.add.at(marks, p_hi + 1, -1)
+        return np.nonzero(np.cumsum(marks[:-1]) > 0)[0]
+
+    def _iteration(
+        self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram, state: ProgramState
+    ) -> None:
+        from repro.algorithms.frontier import active_edge_count
+
+        pages = self._touched_pages(graph, state.active)
+        access = self._uvm.touch(pages)
+        prefetch_bytes = 0
+        k = gpu.spec.uvm_prefetch_pages
+        if k > 0 and access.n_faults and self._uvm.n_pages:
+            # Sequential prefetch: pull the next k pages behind each
+            # touched page (the driver's density heuristic, simplified).
+            ahead = (pages[:, None] + np.arange(1, k + 1)[None, :]).ravel()
+            ahead = ahead[ahead < self._uvm.n_pages]
+            prefetch_bytes = self._uvm.prefetch(ahead)
+        if self.trace is not None:
+            self.trace.record(gpu.clock.now, pages)
+        gpu.vertex_scan(graph.n_vertices, passes=1, label="gen-active")
+        n_edges = active_edge_count(graph, state.active)
+        spec = gpu.spec
+        charged_bytes = int((access.bytes_migrated + prefetch_bytes) * gpu.charge_scale)
+        fault_batches = -(-access.n_faults // spec.uvm_fault_batch) if access.n_faults else 0
+        stall = (
+            fault_batches * spec.uvm_fault_latency
+            + charged_bytes / spec.uvm_migration_bandwidth
+        )
+        kernel = spec.uvm_kernel_penalty * spec.kernel.edge_kernel_seconds(
+            int(n_edges * gpu.charge_scale), atomics=program.atomics
+        )
+        # Faults stall the SMs: kernel + migration serialize on the GPU lane.
+        done = gpu.gpu.submit(kernel + stall, label="uvm-kernel")
+        gpu.metrics.kernel_launches += 1 if n_edges else 0
+        gpu.metrics.edges_processed += int(n_edges * gpu.charge_scale)
+        gpu.metrics.bytes_h2d += charged_bytes
+        gpu.metrics.h2d_transfers += fault_batches
+        gpu.metrics.page_faults += access.n_faults
+        gpu.metrics.fault_batches += fault_batches
+        gpu.metrics.pages_migrated += access.n_faults
+        gpu.metrics.pages_evicted += access.n_evicted
+        gpu.metrics.add_phase("Tcompute", kernel)
+        gpu.metrics.add_phase("Tfault", stall)
+        gpu.sync(done)
+
+    def _report_extra(self, result: RunResult, gpu: SimulatedGPU, graph: CSRGraph) -> None:
+        result.extra["page_size"] = float(self._uvm.page_size)
+        result.extra["resident_pages"] = float(self._uvm.resident_pages)
+        result.extra["pin_fraction"] = float(self.pin_fraction)

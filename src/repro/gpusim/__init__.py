@@ -1,0 +1,47 @@
+"""Simulated GPU platform.
+
+The paper's artifact is CUDA on a Tesla P100; Python offers no fine-grained
+GPU memory control, so this package models the platform deterministically:
+
+* :mod:`repro.gpusim.clock` — virtual time and span recording;
+* :mod:`repro.gpusim.device` — the :class:`~repro.gpusim.device.SimulatedGPU`
+  facade and its :class:`~repro.gpusim.device.GPUSpec` cost model;
+* :mod:`repro.gpusim.memory` — device-memory allocator;
+* :mod:`repro.gpusim.pcie` — PCIe link (bandwidth + latency + burst);
+* :mod:`repro.gpusim.stream` — lanes (GPU compute / copy engine / CPU) with
+  overlap and idle-time accounting;
+* :mod:`repro.gpusim.kernel` — kernel cost model (edges/s, scans, launches);
+* :mod:`repro.gpusim.uvm` — Unified Virtual Memory: pages, faults, LRU;
+* :mod:`repro.gpusim.host` — host-side gather cost model;
+* :mod:`repro.gpusim.metrics` — counters every engine reports from.
+
+Every engine decision (what to move, when, overlapped with what) lives in the
+engines; this package only turns (bytes, edges) into virtual seconds and
+enforces capacity.
+"""
+
+from repro.gpusim.clock import VirtualClock, Span
+from repro.gpusim.metrics import Metrics
+from repro.gpusim.memory import DeviceMemory, Allocation, GPUOutOfMemory
+from repro.gpusim.pcie import PCIeLink
+from repro.gpusim.kernel import KernelModel
+from repro.gpusim.stream import Lane
+from repro.gpusim.uvm import UVMMemory
+from repro.gpusim.host import HostGather
+from repro.gpusim.device import GPUSpec, SimulatedGPU
+
+__all__ = [
+    "VirtualClock",
+    "Span",
+    "Metrics",
+    "DeviceMemory",
+    "Allocation",
+    "GPUOutOfMemory",
+    "PCIeLink",
+    "KernelModel",
+    "Lane",
+    "UVMMemory",
+    "HostGather",
+    "GPUSpec",
+    "SimulatedGPU",
+]

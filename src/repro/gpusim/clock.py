@@ -1,0 +1,67 @@
+"""Virtual time.
+
+All engine timing in this repo is *virtual*: the simulator adds up analytic
+costs (bytes / bandwidth, edges / throughput, per-fault latencies) on a
+monotonic clock.  Determinism matters more than resolution — two runs of the
+same engine on the same graph produce bit-identical timelines, which is what
+lets the benchmarks reproduce the paper's *ratios* without real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["VirtualClock", "Span"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One recorded activity on one lane of the timeline."""
+
+    lane: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class VirtualClock:
+    """A monotonic virtual clock with an optional span log.
+
+    ``record=True`` keeps every span (used by trace analysis, Fig. 2 and the
+    timeline tests); benchmarks leave it off to stay lean.
+    """
+
+    now: float = 0.0
+    record: bool = False
+    spans: List[Span] = field(default_factory=list)
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds (must be non-negative)."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt}")
+        self.now += dt
+        return self.now
+
+    def advance_to(self, t: float) -> float:
+        """Move time forward to ``t`` if ``t`` is in the future (else no-op)."""
+        if t > self.now:
+            self.now = t
+        return self.now
+
+    def log(self, lane: str, label: str, start: float, end: float) -> Optional[Span]:
+        """Record a span if recording is enabled."""
+        if not self.record:
+            return None
+        span = Span(lane=lane, label=label, start=start, end=end)
+        self.spans.append(span)
+        return span
+
+    def reset(self) -> None:
+        self.now = 0.0
+        self.spans.clear()

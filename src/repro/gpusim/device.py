@@ -1,0 +1,185 @@
+"""The simulated GPU platform facade.
+
+:class:`GPUSpec` is the single source of truth for the cost model (DESIGN.md
+§5); :class:`SimulatedGPU` bundles the virtual clock, the device-memory
+allocator, the three lanes (GPU compute, copy engine, host CPU), and the run
+counters.  Engines talk to this facade exclusively — it is the "hardware"
+every policy is charged against, identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.gpusim.clock import VirtualClock
+from repro.gpusim.host import HostGather
+from repro.gpusim.kernel import KernelModel
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.metrics import Metrics
+from repro.gpusim.pcie import PCIeLink
+from repro.gpusim.stream import Lane
+
+__all__ = ["GPUSpec", "SimulatedGPU"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Cost-model parameters of the simulated platform.
+
+    Defaults approximate the paper's testbed: Tesla P100 (16 GB, capped to
+    10 GB), PCIe 3.0 x16, Xeon Silver 4210 host (§4.1).  ``memory_bytes``
+    here is the *cap applied to the card*, not the physical 16 GB.
+    """
+
+    memory_bytes: int = 10 * 10**9
+    pcie: PCIeLink = field(default_factory=PCIeLink)
+    kernel: KernelModel = field(default_factory=KernelModel)
+    gather: HostGather = field(default_factory=HostGather)
+    #: UVM migration granularity (§2: 64 KB–2 MB pages; default 64 KB).
+    uvm_page_size: int = 64 * 1024
+    #: Seconds the driver spends servicing one batch of page faults.
+    uvm_fault_latency: float = 30.0e-6
+    #: Faults serviced per driver batch.
+    uvm_fault_batch: int = 8
+    #: Effective bytes/second of *fault-driven* page migration.  Demand
+    #: paging moves data far below bulk-copy bandwidth (small, scattered
+    #: DMA plus driver bookkeeping) — the core §4.4 penalty.
+    uvm_migration_bandwidth: float = 2.0e9
+    #: Kernel slowdown on UVM-managed data even when resident (address
+    #: translation, replayable-fault machinery, no read-only caching).
+    uvm_kernel_penalty: float = 2.0
+    #: Sequential-prefetch depth: pages pulled ahead of each faulting page
+    #: (the driver's tree prefetcher groups up to 2 MB).  0 disables.
+    uvm_prefetch_pages: int = 0
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if self.uvm_page_size <= 0 or self.uvm_fault_batch <= 0:
+            raise ValueError("invalid UVM parameters")
+        if self.uvm_fault_latency < 0 or self.uvm_migration_bandwidth <= 0:
+            raise ValueError("invalid UVM fault parameters")
+        if self.uvm_kernel_penalty < 1.0:
+            raise ValueError("uvm_kernel_penalty must be >= 1")
+        if self.uvm_prefetch_pages < 0:
+            raise ValueError("uvm_prefetch_pages must be non-negative")
+
+    def with_memory(self, memory_bytes: int) -> "GPUSpec":
+        """The same platform with a different device-memory cap."""
+        return replace(self, memory_bytes=int(memory_bytes))
+
+
+class SimulatedGPU:
+    """One simulated device + host pair for one engine run.
+
+    ``charge_scale`` reconciles scaled datasets with real time constants:
+    experiments run on graphs scaled down by ``s`` (1/1000 by default) with
+    device memory scaled identically, but latencies and bandwidths are
+    physical.  Charging a transfer of ``n`` scaled bytes as ``n / s``
+    paper-scale bytes keeps every fixed-cost : streaming-cost ratio — and
+    therefore every speedup the paper reports — at paper scale.  Reported
+    metrics (bytes, seconds) come out directly comparable to the paper's
+    tables.  Capacity accounting (the memory allocator) stays in scaled
+    bytes throughout.
+    """
+
+    def __init__(self, spec: GPUSpec, record_spans: bool = False,
+                 charge_scale: float = 1.0) -> None:
+        if charge_scale <= 0:
+            raise ValueError("charge_scale must be positive")
+        self.spec = spec
+        self.charge_scale = charge_scale
+        self.clock = VirtualClock(record=record_spans)
+        self.memory = DeviceMemory(spec.memory_bytes)
+        self.metrics = Metrics()
+        self.gpu = Lane("gpu", self.clock)
+        self.copy = Lane("copy", self.clock)
+        self.cpu = Lane("cpu", self.clock)
+
+    def _scale(self, n: float) -> int:
+        """Scaled count → paper-scale count for the cost model."""
+        return int(round(n * self.charge_scale))
+
+    # ------------------------------------------------------------ transfers
+    def h2d(self, nbytes: int, label: str = "h2d", after: float = 0.0,
+            n_requests: int = 1, phase: str | None = None) -> float:
+        """Queue a host→device copy on the copy engine; returns finish time."""
+        charged = self._scale(nbytes)
+        dur = self.spec.pcie.streaming_seconds(charged, n_requests)
+        end = self.copy.submit(dur, label, after=after)
+        self.metrics.bytes_h2d += self.spec.pcie.payload_bytes(charged)
+        self.metrics.h2d_transfers += 1 if nbytes else 0
+        if phase:
+            self.metrics.add_phase(phase, dur)
+        return end
+
+    def d2h(self, nbytes: int, label: str = "d2h", after: float = 0.0,
+            phase: str | None = None) -> float:
+        """Queue a device→host copy on the copy engine; returns finish time."""
+        charged = self._scale(nbytes)
+        dur = self.spec.pcie.transfer_seconds(charged)
+        end = self.copy.submit(dur, label, after=after)
+        self.metrics.bytes_d2h += self.spec.pcie.payload_bytes(charged)
+        self.metrics.d2h_transfers += 1 if nbytes else 0
+        if phase:
+            self.metrics.add_phase(phase, dur)
+        return end
+
+    # -------------------------------------------------------------- kernels
+    def edge_kernel(self, n_edges: int, label: str = "edges", atomics: bool = False,
+                    after: float = 0.0, phase: str | None = None) -> float:
+        """Queue an edge-traversal kernel on the GPU lane."""
+        charged = self._scale(n_edges)
+        dur = self.spec.kernel.edge_kernel_seconds(charged, atomics=atomics)
+        end = self.gpu.submit(dur, label, after=after)
+        self.metrics.kernel_launches += 1 if n_edges else 0
+        self.metrics.edges_processed += charged
+        if phase:
+            self.metrics.add_phase(phase, dur)
+        return end
+
+    def vertex_scan(self, n_vertices: int, passes: int = 1, label: str = "scan",
+                    after: float = 0.0, phase: str | None = None) -> float:
+        """Queue a vertex-array scan kernel (map generation etc.)."""
+        dur = self.spec.kernel.vertex_scan_seconds(self._scale(n_vertices), passes)
+        end = self.gpu.submit(dur, label, after=after)
+        self.metrics.kernel_launches += 1 if n_vertices and passes else 0
+        if phase:
+            self.metrics.add_phase(phase, dur)
+        return end
+
+    # ------------------------------------------------------------------ CPU
+    def cpu_gather(self, nbytes: int, label: str = "gather", after: float = 0.0,
+                   phase: str | None = None) -> float:
+        """Queue a host gather of ``nbytes`` into the staging buffer."""
+        dur = self.spec.gather.gather_seconds(self._scale(nbytes))
+        end = self.cpu.submit(dur, label, after=after)
+        if phase:
+            self.metrics.add_phase(phase, dur)
+        return end
+
+    def cpu_work(self, seconds: float, label: str = "cpu", after: float = 0.0,
+                 phase: str | None = None) -> float:
+        """Queue arbitrary host work measured in seconds."""
+        end = self.cpu.submit(seconds, label, after=after)
+        if phase:
+            self.metrics.add_phase(phase, seconds)
+        return end
+
+    # ----------------------------------------------------------------- sync
+    def sync(self, t: float | None = None) -> float:
+        """Wait: for time ``t``, or for all lanes when ``t`` is None."""
+        if t is None:
+            t = max(self.gpu.busy_until, self.copy.busy_until, self.cpu.busy_until)
+        return self.clock.advance_to(t)
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual seconds since the run started."""
+        return self.clock.now
+
+    def gpu_idle_fraction(self) -> float:
+        """Share of elapsed time the GPU compute lane sat idle (§2.2's 68 %)."""
+        if self.clock.now <= 0:
+            return 0.0
+        return self.gpu.idle_seconds() / self.clock.now

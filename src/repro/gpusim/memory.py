@@ -1,0 +1,95 @@
+"""Device-memory allocator.
+
+Models the finite GDDR5 capacity the whole paper is about.  Engines allocate
+named regions (vertex state, partition buffer, Static Region, On-demand
+Region, UVM-resident pool); exceeding capacity raises
+:class:`GPUOutOfMemory`, exactly the constraint that forces out-of-memory
+processing in the first place.
+
+The allocator is a byte-accounting allocator, not an address-space model:
+placement/fragmentation is irrelevant to every policy in the paper (all
+regions are long-lived arenas), so only sizes are tracked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Allocation", "DeviceMemory", "GPUOutOfMemory"]
+
+
+class GPUOutOfMemory(RuntimeError):
+    """Requested allocation exceeds remaining device memory."""
+
+
+@dataclass
+class Allocation:
+    """A live, named slice of device memory."""
+
+    name: str
+    nbytes: int
+    freed: bool = False
+
+
+class DeviceMemory:
+    """Byte-accounting allocator over a fixed capacity."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity_bytes)
+        self._allocs: Dict[str, Allocation] = {}
+        self._used = 0
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._used
+
+    def alloc(self, name: str, nbytes: int) -> Allocation:
+        """Reserve ``nbytes`` under ``name``.  Names must be unique while live."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if name in self._allocs:
+            raise ValueError(f"allocation {name!r} already exists")
+        if nbytes > self.available:
+            raise GPUOutOfMemory(
+                f"alloc {name!r} of {nbytes:,} B exceeds available "
+                f"{self.available:,} B (capacity {self.capacity:,} B)"
+            )
+        a = Allocation(name=name, nbytes=nbytes)
+        self._allocs[name] = a
+        self._used += nbytes
+        return a
+
+    def free(self, alloc: Allocation) -> None:
+        """Release a live allocation (double-free raises)."""
+        if alloc.freed or self._allocs.get(alloc.name) is not alloc:
+            raise ValueError(f"allocation {alloc.name!r} is not live")
+        alloc.freed = True
+        del self._allocs[alloc.name]
+        self._used -= alloc.nbytes
+
+    def resize(self, alloc: Allocation, nbytes: int) -> None:
+        """Grow or shrink a live allocation in place (Ascetic's Eq. 3 repartition)."""
+        nbytes = int(nbytes)
+        if alloc.freed or self._allocs.get(alloc.name) is not alloc:
+            raise ValueError(f"allocation {alloc.name!r} is not live")
+        if nbytes < 0:
+            raise ValueError("size must be non-negative")
+        delta = nbytes - alloc.nbytes
+        if delta > self.available:
+            raise GPUOutOfMemory(
+                f"resize {alloc.name!r} to {nbytes:,} B exceeds available memory"
+            )
+        alloc.nbytes = nbytes
+        self._used += delta
+
+    def live_allocations(self) -> Dict[str, int]:
+        """Snapshot of live allocation sizes (for tests and reports)."""
+        return {name: a.nbytes for name, a in self._allocs.items()}

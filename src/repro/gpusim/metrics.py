@@ -1,0 +1,72 @@
+"""Run counters.
+
+Everything the paper's evaluation reports is derived from these counters:
+bytes over PCIe (Tables 2 and 5, Figs. 7 and 9), component times
+(Fig. 10's Tsr / Tfilling / Ttransfer / Tondemand), GPU idle share
+(§2.2's "68 % of GPU time is idle"), and UVM fault counts (§4.4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["Metrics"]
+
+
+@dataclass
+class Metrics:
+    """Mutable counter bundle owned by a :class:`~repro.gpusim.device.SimulatedGPU`."""
+
+    bytes_h2d: int = 0
+    bytes_d2h: int = 0
+    h2d_transfers: int = 0
+    d2h_transfers: int = 0
+    page_faults: int = 0
+    fault_batches: int = 0
+    pages_migrated: int = 0
+    pages_evicted: int = 0
+    kernel_launches: int = 0
+    edges_processed: int = 0
+    #: Per-phase accumulated virtual seconds, e.g. ``Tsr``, ``Tfilling``,
+    #: ``Ttransfer``, ``Tondemand`` for Fig. 10.
+    phase_seconds: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+
+    def add_phase(self, phase: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative phase time {seconds} for {phase!r}")
+        self.phase_seconds[phase] += seconds
+
+    def merge(self, other: "Metrics") -> "Metrics":
+        """Accumulate another metrics bundle into this one (multi-run sweeps)."""
+        self.bytes_h2d += other.bytes_h2d
+        self.bytes_d2h += other.bytes_d2h
+        self.h2d_transfers += other.h2d_transfers
+        self.d2h_transfers += other.d2h_transfers
+        self.page_faults += other.page_faults
+        self.fault_batches += other.fault_batches
+        self.pages_migrated += other.pages_migrated
+        self.pages_evicted += other.pages_evicted
+        self.kernel_launches += other.kernel_launches
+        self.edges_processed += other.edges_processed
+        for phase, sec in other.phase_seconds.items():
+            self.phase_seconds[phase] += sec
+        return self
+
+    def as_dict(self) -> Dict[str, float]:
+        d: Dict[str, float] = {
+            "bytes_h2d": self.bytes_h2d,
+            "bytes_d2h": self.bytes_d2h,
+            "h2d_transfers": self.h2d_transfers,
+            "d2h_transfers": self.d2h_transfers,
+            "page_faults": self.page_faults,
+            "fault_batches": self.fault_batches,
+            "pages_migrated": self.pages_migrated,
+            "pages_evicted": self.pages_evicted,
+            "kernel_launches": self.kernel_launches,
+            "edges_processed": self.edges_processed,
+        }
+        for phase, sec in sorted(self.phase_seconds.items()):
+            d[f"phase:{phase}"] = sec
+        return d

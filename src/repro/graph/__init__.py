@@ -1,0 +1,38 @@
+"""Graph substrate: CSR storage, generators, named datasets, partitioning."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    rmat_graph,
+    web_graph,
+    social_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+    grid_graph,
+    complete_graph,
+)
+from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.graph.partition import EdgePartition, partition_by_bytes, partition_by_vertex_ranges
+from repro.graph.reorder import bfs_order, degree_order, random_order, relabel
+
+__all__ = [
+    "CSRGraph",
+    "rmat_graph",
+    "web_graph",
+    "social_graph",
+    "erdos_renyi_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "complete_graph",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "EdgePartition",
+    "partition_by_bytes",
+    "partition_by_vertex_ranges",
+    "bfs_order",
+    "degree_order",
+    "random_order",
+    "relabel",
+]

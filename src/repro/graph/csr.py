@@ -1,0 +1,306 @@
+"""Compressed-sparse-row graph storage.
+
+This is the in-(host)-memory representation every engine works from: the
+paper keeps the graph "in the CSR format" on the CPU side (§3.1) and ships
+slices of the edge array (``indices`` / ``weights``) across PCIe.  Edges of a
+vertex are stored contiguously, so a *vertex-aligned byte range* of the edge
+array is the unit every policy in this repo reasons about.
+
+Conventions
+-----------
+* ``indptr`` is ``int64`` of length ``n + 1``; ``indices`` is ``int32`` —
+  4 bytes per edge, matching the paper's sizing (§4.1: edge data doubles for
+  SSSP because of the 4-byte weight field).
+* Directed graphs store out-edges.  Undirected graphs are stored symmetrized
+  (both directions present), as the CUDA frameworks under study do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = ["CSRGraph", "EDGE_INDEX_BYTES", "WEIGHT_BYTES", "VERTEX_STATE_BYTES"]
+
+#: Bytes per edge for the destination-index array (int32).
+EDGE_INDEX_BYTES = 4
+#: Bytes per edge for the optional weight array (uint32).
+WEIGHT_BYTES = 4
+#: Bookkeeping bytes per vertex that always live in GPU memory: the value
+#: array (8), the CSR offsets (8), active/static bitmaps and frontier
+#: scratch (8).  Used when sizing datasets the way §4.1 does.
+VERTEX_STATE_BYTES = 24
+
+
+@dataclass
+class CSRGraph:
+    """A graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n_vertices + 1``; edges of vertex ``v``
+        occupy ``indices[indptr[v]:indptr[v + 1]]``.
+    indices:
+        ``int32`` array of destination vertices, length ``n_edges``.
+    weights:
+        Optional ``uint32`` per-edge weights (SSSP).  ``None`` for
+        unweighted algorithms.
+    directed:
+        Whether the stored edges are one-directional.  Undirected inputs are
+        expected to already contain both arcs.
+    name:
+        Optional label used in reports.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: Optional[np.ndarray] = None
+    directed: bool = True
+    name: str = "graph"
+    _out_degree: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(self.indices, dtype=np.int32)
+        if self.weights is not None:
+            self.weights = np.ascontiguousarray(self.weights, dtype=np.uint32)
+            if self.weights.shape != self.indices.shape:
+                raise ValueError(
+                    f"weights shape {self.weights.shape} != indices shape {self.indices.shape}"
+                )
+        if self.indptr.ndim != 1 or self.indptr.size == 0:
+            raise ValueError("indptr must be a non-empty 1-D array")
+        if self.indptr[0] != 0:
+            raise ValueError("indptr[0] must be 0")
+        if self.indptr[-1] != self.indices.size:
+            raise ValueError(
+                f"indptr[-1]={self.indptr[-1]} does not match n_edges={self.indices.size}"
+            )
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.n_vertices
+        ):
+            raise ValueError("edge destination out of range")
+
+    # ------------------------------------------------------------------ size
+    @property
+    def n_vertices(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def n_edges(self) -> int:
+        return self.indices.size
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weights is not None
+
+    @property
+    def bytes_per_edge(self) -> int:
+        """Bytes one edge occupies on the wire (index, plus weight if any)."""
+        return EDGE_INDEX_BYTES + (WEIGHT_BYTES if self.is_weighted else 0)
+
+    @property
+    def edge_array_bytes(self) -> int:
+        """Total bytes of the edge data (the out-of-memory part)."""
+        return self.n_edges * self.bytes_per_edge
+
+    @property
+    def vertex_state_bytes(self) -> int:
+        """Bytes of always-resident per-vertex state (values, offsets, maps)."""
+        return self.n_vertices * VERTEX_STATE_BYTES
+
+    @property
+    def dataset_bytes(self) -> int:
+        """Dataset size the way §4.1 sizes it: vertices + edges + buffers."""
+        return self.vertex_state_bytes + self.edge_array_bytes
+
+    # ------------------------------------------------------------ navigation
+    def out_degree(self) -> np.ndarray:
+        """Out-degree of every vertex (cached)."""
+        if self._out_degree is None:
+            self._out_degree = np.diff(self.indptr)
+        return self._out_degree
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Destination vertices of ``v``'s out-edges (a view, not a copy)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def edge_weights_of(self, v: int) -> np.ndarray:
+        if self.weights is None:
+            raise ValueError("graph is unweighted")
+        return self.weights[self.indptr[v] : self.indptr[v + 1]]
+
+    def edge_range(self, v_lo: int, v_hi: int) -> tuple[int, int]:
+        """Half-open edge-array index range covering vertices ``[v_lo, v_hi)``."""
+        return int(self.indptr[v_lo]), int(self.indptr[v_hi])
+
+    # ---------------------------------------------------------- construction
+    @classmethod
+    def from_edges(
+        cls,
+        src: Iterable[int],
+        dst: Iterable[int],
+        n_vertices: int,
+        weights: Optional[Iterable[int]] = None,
+        directed: bool = True,
+        name: str = "graph",
+        dedup: bool = False,
+    ) -> "CSRGraph":
+        """Build a CSR graph from parallel (src, dst[, weight]) arrays.
+
+        Undirected graphs (``directed=False``) get both arcs materialized.
+        Self-loops are kept (PageRank treats them as ordinary edges).
+        ``dedup=True`` removes duplicate (src, dst) pairs, keeping the first
+        weight encountered.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have the same length")
+        w = None if weights is None else np.asarray(weights, dtype=np.uint32)
+        if w is not None and w.shape != src.shape:
+            raise ValueError("weights must match edge count")
+        if src.size and (src.min() < 0 or dst.min() < 0):
+            raise ValueError("negative vertex id")
+        if src.size and max(int(src.max()), int(dst.max())) >= n_vertices:
+            raise ValueError("vertex id out of range")
+
+        if not directed:
+            src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+            if w is not None:
+                w = np.concatenate([w, w])
+
+        if dedup and src.size:
+            key = src * np.int64(n_vertices) + dst
+            _, keep = np.unique(key, return_index=True)
+            keep.sort()
+            src, dst = src[keep], dst[keep]
+            if w is not None:
+                w = w[keep]
+
+        order = np.argsort(src, kind="stable")
+        src_sorted = src[order]
+        indices = dst[order].astype(np.int32)
+        w_sorted = None if w is None else w[order]
+        counts = np.bincount(src_sorted, minlength=n_vertices)
+        indptr = np.zeros(n_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(
+            indptr=indptr,
+            indices=indices,
+            weights=w_sorted,
+            directed=directed,
+            name=name,
+        )
+
+    def with_weights(self, weights: np.ndarray) -> "CSRGraph":
+        """Return a copy of this graph carrying the given per-edge weights."""
+        return CSRGraph(
+            indptr=self.indptr,
+            indices=self.indices,
+            weights=np.asarray(weights, dtype=np.uint32),
+            directed=self.directed,
+            name=self.name,
+        )
+
+    def with_random_weights(
+        self, low: int = 1, high: int = 64, seed: int = 7
+    ) -> "CSRGraph":
+        """Attach uniform random integer weights in ``[low, high)`` (SSSP)."""
+        rng = np.random.default_rng(seed)
+        return self.with_weights(rng.integers(low, high, size=self.n_edges, dtype=np.uint32))
+
+    def unweighted(self) -> "CSRGraph":
+        """Drop weights (BFS/CC/PR sizing)."""
+        if self.weights is None:
+            return self
+        return CSRGraph(
+            indptr=self.indptr,
+            indices=self.indices,
+            weights=None,
+            directed=self.directed,
+            name=self.name,
+        )
+
+    def symmetrized(self) -> "CSRGraph":
+        """Both arc directions materialized (weakly-connected-components view).
+
+        Returns ``self`` when already undirected.  CC on a directed graph
+        computes min-*reaching*-label; run it on the symmetrized view to get
+        weakly connected components instead.
+        """
+        if not self.directed:
+            return self
+        src = self.edge_sources()
+        return CSRGraph.from_edges(
+            src,
+            self.indices.astype(np.int64),
+            self.n_vertices,
+            weights=self.weights,
+            directed=False,
+            name=self.name + "+sym",
+        )
+
+    def reverse(self) -> "CSRGraph":
+        """The transpose graph (in-edges become out-edges)."""
+        n = self.n_vertices
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
+        g = CSRGraph.from_edges(
+            self.indices.astype(np.int64),
+            src,
+            n,
+            weights=self.weights,
+            directed=True,
+            name=self.name + "^T",
+        )
+        g.directed = self.directed
+        return g
+
+    # -------------------------------------------------------------- exports
+    def edge_sources(self) -> np.ndarray:
+        """Expanded source array (``int64``), one entry per edge."""
+        return np.repeat(np.arange(self.n_vertices, dtype=np.int64), np.diff(self.indptr))
+
+    def to_networkx(self):
+        """Export to a networkx graph for reference validation."""
+        import networkx as nx
+
+        g = nx.DiGraph() if self.directed else nx.Graph()
+        g.add_nodes_from(range(self.n_vertices))
+        src = self.edge_sources()
+        if self.weights is not None:
+            g.add_weighted_edges_from(
+                zip(src.tolist(), self.indices.tolist(), self.weights.tolist())
+            )
+        else:
+            g.add_edges_from(zip(src.tolist(), self.indices.tolist()))
+        return g
+
+    def to_scipy(self):
+        """Export to a scipy CSR matrix (1s, or weights when present)."""
+        from scipy.sparse import csr_matrix
+
+        data = (
+            np.ones(self.n_edges, dtype=np.float64)
+            if self.weights is None
+            else self.weights.astype(np.float64)
+        )
+        # scipy canonicalizes (sorts / merges duplicates) *in place*; hand
+        # it copies so the graph's own arrays stay pristine.
+        return csr_matrix(
+            (data, self.indices.copy(), self.indptr.copy()),
+            shape=(self.n_vertices, self.n_vertices),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "directed" if self.directed else "undirected"
+        w = "weighted" if self.is_weighted else "unweighted"
+        return (
+            f"CSRGraph({self.name!r}, {kind}, {w}, "
+            f"n={self.n_vertices:,}, m={self.n_edges:,})"
+        )

@@ -1,0 +1,136 @@
+"""Edge-array partitioning.
+
+The PT baseline (GraphReduce-style, §2.1) divides the graph into partitions
+that each fit in GPU memory and swaps whole partitions per iteration.  Both
+Ascetic's chunk table and the PT engine reason about *vertex-aligned,
+contiguous byte ranges of the edge array* — this module produces them.
+
+Partitions are aligned to vertex boundaries whenever possible (an edge slice
+is only directly computable if the owning vertex's CSR extent is known);
+a vertex whose edge list alone exceeds the byte budget is split across
+several partitions, exactly as real systems shard mega-hubs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["EdgePartition", "partition_by_bytes", "partition_by_vertex_ranges", "partitions_of_vertices"]
+
+
+@dataclass(frozen=True)
+class EdgePartition:
+    """A contiguous slice of the edge array.
+
+    ``[v_lo, v_hi)`` is the vertex range whose edges the slice covers;
+    ``[e_lo, e_hi)`` the edge-index range.  For a split mega-vertex the
+    vertex range is a single vertex repeated across several partitions.
+    """
+
+    pid: int
+    v_lo: int
+    v_hi: int
+    e_lo: int
+    e_hi: int
+    bytes_per_edge: int
+
+    @property
+    def n_edges(self) -> int:
+        return self.e_hi - self.e_lo
+
+    @property
+    def nbytes(self) -> int:
+        return self.n_edges * self.bytes_per_edge
+
+
+def partition_by_bytes(graph: CSRGraph, budget_bytes: int) -> List[EdgePartition]:
+    """Split the edge array into vertex-aligned partitions of ≤ ``budget_bytes``.
+
+    Greedy first-fit over the vertex order (the edge array is already sorted
+    by source), the strategy GraphReduce/GridGraph-style systems use.  A
+    single vertex whose edges exceed the budget is split at raw edge
+    granularity into budget-sized pieces.
+    """
+    if budget_bytes <= 0:
+        raise ValueError("budget_bytes must be positive")
+    bpe = graph.bytes_per_edge
+    edges_per_part = max(budget_bytes // bpe, 1)
+    parts: List[EdgePartition] = []
+    indptr = graph.indptr
+    n = graph.n_vertices
+    v = 0
+    while v < n:
+        e_lo = int(indptr[v])
+        # Furthest vertex boundary still within budget.
+        v_hi = int(np.searchsorted(indptr, e_lo + edges_per_part, side="right")) - 1
+        if v_hi <= v:
+            # Vertex v alone overflows the budget: split its edge range.
+            e_end = int(indptr[v + 1])
+            e = e_lo
+            while e < e_end:
+                e2 = min(e + edges_per_part, e_end)
+                parts.append(EdgePartition(len(parts), v, v + 1, e, e2, bpe))
+                e = e2
+            v += 1
+        else:
+            v_hi = min(v_hi, n)
+            parts.append(EdgePartition(len(parts), v, v_hi, e_lo, int(indptr[v_hi]), bpe))
+            v = v_hi
+    if not parts:  # empty graph still gets one empty partition
+        parts.append(EdgePartition(0, 0, n, 0, 0, bpe))
+    return parts
+
+
+def partition_by_vertex_ranges(graph: CSRGraph, n_parts: int) -> List[EdgePartition]:
+    """Split into ``n_parts`` partitions of (nearly) equal *edge* counts."""
+    if n_parts <= 0:
+        raise ValueError("n_parts must be positive")
+    bpe = graph.bytes_per_edge
+    m = graph.n_edges
+    bounds = [int(round(i * m / n_parts)) for i in range(n_parts + 1)]
+    parts: List[EdgePartition] = []
+    for i in range(n_parts):
+        e_lo, e_hi = bounds[i], bounds[i + 1]
+        v_lo = int(np.searchsorted(graph.indptr, e_lo, side="right")) - 1
+        v_hi = int(np.searchsorted(graph.indptr, e_hi, side="left"))
+        parts.append(EdgePartition(i, max(v_lo, 0), min(v_hi, graph.n_vertices), e_lo, e_hi, bpe))
+    return parts
+
+
+def partitions_of_vertices(
+    graph: CSRGraph, parts: List[EdgePartition], active: np.ndarray
+) -> np.ndarray:
+    """Boolean mask over ``parts``: which partitions hold edges of active vertices.
+
+    ``active`` is a boolean mask over vertices.  A partition is *touched* if
+    any active vertex has at least one edge inside its ``[e_lo, e_hi)`` range.
+    Vectorized: for every active vertex with degree > 0, mark the partition
+    range ``[part_of(e_lo_v), part_of(e_hi_v - 1)]``.
+    """
+    touched = np.zeros(len(parts), dtype=bool)
+    vs = np.nonzero(active)[0]
+    if vs.size == 0:
+        return touched
+    e_lo = graph.indptr[vs]
+    e_hi = graph.indptr[vs + 1]
+    has_edges = e_hi > e_lo
+    e_lo, e_hi = e_lo[has_edges], e_hi[has_edges]
+    if e_lo.size == 0:
+        return touched
+    starts = np.array([p.e_lo for p in parts], dtype=np.int64)
+    p_first = np.searchsorted(starts, e_lo, side="right") - 1
+    p_last = np.searchsorted(starts, e_hi - 1, side="right") - 1
+    # Mark all partitions in [p_first, p_last] per vertex via a diff array.
+    diff = np.zeros(len(parts) + 1, dtype=np.int64)
+    np.add.at(diff, p_first, 1)
+    np.add.at(diff, p_last + 1, -1)
+    touched = np.cumsum(diff[:-1]) > 0
+    # Empty partitions (e_lo == e_hi) hold no edges and are never touched,
+    # even when they sit inside a marked span.
+    sizes = np.array([p.e_hi - p.e_lo for p in parts], dtype=np.int64)
+    return touched & (sizes > 0)

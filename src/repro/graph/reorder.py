@@ -1,0 +1,91 @@
+"""Vertex reordering / relabeling.
+
+Out-of-memory engines are sensitive to the *layout* of the edge array:
+Ascetic's front-fill pins a byte-contiguous prefix, so placing the hottest
+vertices first turns the Static Region into a perfect hot-set cache —
+a layout-level complement to §3.4's runtime replacement (and a stronger
+version of §5's observation that the initial fill barely matters on
+*shuffled* datasets: on *ordered* ones it matters a lot, which
+``benchmarks/bench_reordering.py`` quantifies).
+
+Orderings:
+
+* :func:`degree_order` — hubs first.  Under power-law degree, the top
+  fraction of vertices owns most edges *and* most accesses;
+* :func:`bfs_order` — breadth-first discovery order from a hub: places
+  co-active vertices (same frontier) adjacently, improving chunk-level
+  co-residency for wave algorithms;
+* :func:`random_order` — destroys locality (KONECT-style shuffling);
+  useful as a control.
+
+All return a permutation ``perm`` with ``perm[old_id] = new_id``;
+:func:`relabel` applies one to a graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["degree_order", "bfs_order", "random_order", "relabel"]
+
+
+def degree_order(graph: CSRGraph, descending: bool = True) -> np.ndarray:
+    """Permutation placing vertices by out-degree (hubs first by default)."""
+    deg = graph.out_degree()
+    key = -deg if descending else deg
+    # Stable order keeps determinism for equal degrees.
+    order = np.argsort(key, kind="stable")  # order[new_id] = old_id
+    perm = np.empty(graph.n_vertices, dtype=np.int64)
+    perm[order] = np.arange(graph.n_vertices)
+    return perm
+
+
+def bfs_order(graph: CSRGraph, source: int | None = None) -> np.ndarray:
+    """Permutation by BFS discovery order from ``source`` (default: hub).
+
+    Unreached vertices follow, in id order.  Vertices of the same frontier
+    end up adjacent — co-active in the same iteration, co-resident in the
+    same chunks.
+    """
+    from repro.algorithms.bfs import BFS
+    from repro.graph.properties import best_source
+
+    src = best_source(graph) if source is None else source
+    levels = BFS(source=src).run_reference(graph)
+    # Sort by (level, id); unreached (-1) mapped to +inf-ish level.
+    sort_levels = np.where(levels < 0, np.iinfo(np.int32).max, levels)
+    order = np.lexsort((np.arange(graph.n_vertices), sort_levels))
+    perm = np.empty(graph.n_vertices, dtype=np.int64)
+    perm[order] = np.arange(graph.n_vertices)
+    return perm
+
+
+def random_order(graph: CSRGraph, seed: int = 0) -> np.ndarray:
+    """A uniform random permutation (the KONECT/SNAP shuffle)."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(graph.n_vertices).astype(np.int64)
+
+
+def relabel(graph: CSRGraph, perm: np.ndarray) -> CSRGraph:
+    """Apply a permutation: vertex ``v`` becomes ``perm[v]``.
+
+    The result is the same abstract graph (isomorphic — algorithms produce
+    permuted-identical results) with a different edge-array layout.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    if perm.shape != (graph.n_vertices,):
+        raise ValueError("permutation length must equal n_vertices")
+    if not np.array_equal(np.sort(perm), np.arange(graph.n_vertices)):
+        raise ValueError("not a permutation")
+    out = CSRGraph.from_edges(
+        perm[graph.edge_sources()],
+        perm[graph.indices.astype(np.int64)],
+        graph.n_vertices,
+        weights=graph.weights,
+        directed=True,  # arcs already as stored
+        name=graph.name + "+reordered",
+    )
+    out.directed = graph.directed
+    return out

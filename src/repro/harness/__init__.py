@@ -1,0 +1,43 @@
+"""Experiment harness used by ``benchmarks/`` and ``examples/``.
+
+Centralizes the choices every experiment shares — dataset scale, program
+parameters, engine registry, platform spec — so each bench regenerates its
+table or figure from the same configuration the others use, exactly like
+the paper's single test platform (§4.1).
+"""
+
+from repro.harness.experiments import (
+    ENGINES,
+    BENCH_SCALE,
+    Workload,
+    make_workload,
+    run_cell,
+    run_all_engines,
+    clear_dataset_cache,
+)
+from repro.harness.persistence import load_results, result_to_dict, save_results
+from repro.harness.sweeps import (
+    RatioPoint,
+    sweep_static_ratio,
+    MemoryPoint,
+    sweep_gpu_memory,
+    sweep_rmat_sizes,
+)
+
+__all__ = [
+    "ENGINES",
+    "BENCH_SCALE",
+    "Workload",
+    "make_workload",
+    "run_cell",
+    "run_all_engines",
+    "clear_dataset_cache",
+    "RatioPoint",
+    "sweep_static_ratio",
+    "MemoryPoint",
+    "sweep_gpu_memory",
+    "sweep_rmat_sizes",
+    "result_to_dict",
+    "save_results",
+    "load_results",
+]

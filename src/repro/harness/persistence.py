@@ -1,0 +1,76 @@
+"""Run-result serialization.
+
+Benchmarks and long sweeps want machine-readable records next to the
+human-readable tables: :func:`result_to_dict` flattens a
+:class:`~repro.engines.base.RunResult` (without the value array — that is
+data, not telemetry), :func:`save_results` / :func:`load_results` round-trip
+lists of them as JSON.  ``benchmarks/results/*.json`` are written through
+this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Union
+
+from repro.engines.base import RunResult
+
+__all__ = ["result_to_dict", "save_results", "load_results"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Format marker for forward compatibility.
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: RunResult, include_iterations: bool = False) -> Dict:
+    """Flatten a run's telemetry to plain JSON-able types."""
+    out: Dict = {
+        "schema": SCHEMA_VERSION,
+        "engine": result.engine,
+        "algorithm": result.algorithm,
+        "graph": result.graph_name,
+        "iterations": result.iterations,
+        "elapsed_seconds": result.elapsed_seconds,
+        "gpu_idle_fraction": result.gpu_idle_fraction,
+        "n_vertices": int(result.values.size),
+        "metrics": {k: float(v) for k, v in result.metrics.as_dict().items()},
+        "extra": {k: float(v) for k, v in result.extra.items()},
+    }
+    if include_iterations:
+        out["per_iteration"] = [
+            {
+                "iteration": r.iteration,
+                "active_vertices": r.n_active_vertices,
+                "active_edges": r.n_active_edges,
+                "bytes_h2d": r.bytes_h2d,
+                "t_start": r.t_start,
+                "t_end": r.t_end,
+            }
+            for r in result.per_iteration
+        ]
+    return out
+
+
+def save_results(
+    results: Iterable[RunResult], path: PathLike, include_iterations: bool = False
+) -> None:
+    """Write a list of runs as a JSON document."""
+    payload = [result_to_dict(r, include_iterations) for r in results]
+    with open(os.fspath(path), "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+def load_results(path: PathLike) -> List[Dict]:
+    """Read runs written by :func:`save_results` (as dicts, not objects)."""
+    with open(os.fspath(path)) as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, list):
+        raise ValueError("result file must contain a list of runs")
+    for entry in payload:
+        if entry.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported result schema {entry.get('schema')!r}"
+            )
+    return payload

@@ -1,0 +1,139 @@
+"""Tests for the analysis tooling behind the tables and figures."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_program
+from repro.analysis.active_edges import active_edge_fractions, table1_row
+from repro.analysis.breakdown import measure_breakdown
+from repro.analysis.memory_usage import run_subway, subway_idle_fraction, subway_memory_usage
+from repro.analysis.report import format_table, geomean, human_bytes, sparkline
+from repro.analysis.traces import AccessTrace, trace_uvm_run
+from repro.graph.properties import best_source
+
+from conftest import TEST_SCALE, make_spec_for
+
+
+class TestAccessTrace:
+    def test_record_and_events(self):
+        t = AccessTrace()
+        t.record(1.0, np.array([0, 1, 2]))
+        t.record(2.0, np.array([1, 3]))
+        times, chunks = t.events()
+        assert times.size == 5
+        assert list(chunks) == [0, 1, 2, 1, 3]
+
+    def test_access_counts(self):
+        t = AccessTrace()
+        t.record(0.0, np.array([0, 1]))
+        t.record(1.0, np.array([1]))
+        assert list(t.access_counts(3)) == [1, 2, 0]
+
+    def test_empty_trace(self):
+        t = AccessTrace()
+        times, chunks = t.events()
+        assert times.size == 0
+        s = t.summarize(10)
+        assert s.n_iterations == 0
+
+    def test_fig2_claims_on_uvm_run(self, small_social):
+        """The §2 observations: near-sequential per-iteration scans, flat
+        access counts, full coverage over the run."""
+        spec = make_spec_for(small_social, edge_fraction=0.5)
+        prog = make_program("PR", tol=1e-2)
+        trace, summary, result = trace_uvm_run(
+            small_social, prog, spec, data_scale=TEST_SCALE
+        )
+        assert summary.n_iterations == result.iterations
+        assert summary.sequentiality > 0.8  # "roughly sequential scan"
+        assert summary.count_cv < 1.0  # "no noticeable hot spot"
+        assert summary.touched_fraction > 0.9
+
+
+class TestActiveEdges:
+    def test_fractions_in_unit_interval(self, small_social):
+        fr = active_edge_fractions(small_social, make_program("CC"))
+        assert all(0.0 <= f <= 1.0 for f in fr)
+        assert len(fr) > 1
+
+    def test_bfs_total_is_reached_edges(self, small_social):
+        src = best_source(small_social)
+        fr = active_edge_fractions(small_social, make_program("BFS", source=src))
+        # BFS touches each reached vertex's edges exactly once.
+        assert sum(fr) <= 1.0 + 1e-9
+
+    def test_table1_row(self, small_social):
+        row = table1_row(
+            small_social,
+            {
+                "BFS": make_program("BFS", source=best_source(small_social)),
+                "CC": make_program("CC"),
+            },
+        )
+        assert set(row) == {"BFS", "CC"}
+        assert 0 < row["BFS"] < row["CC"] <= 1.0
+
+
+class TestMemoryUsage:
+    def test_table2_cell(self, small_social):
+        spec = make_spec_for(small_social)
+        res = run_subway(
+            small_social,
+            make_program("BFS", source=best_source(small_social)),
+            spec,
+            data_scale=TEST_SCALE,
+        )
+        usage = subway_memory_usage(res)
+        assert 0 < usage < spec.memory_bytes / TEST_SCALE
+        assert 0.0 < subway_idle_fraction(res) < 1.0
+
+
+class TestBreakdown:
+    def test_savings_decompose(self, small_social):
+        spec = make_spec_for(small_social)
+        bd = measure_breakdown(
+            small_social, lambda: make_program("CC"), spec, data_scale=TEST_SCALE
+        )
+        assert bd.static_saving + bd.overlap_saving == pytest.approx(bd.total_saving)
+        assert bd.total_saving > 0.0
+        assert bd.overlap_saving >= 0.0
+
+
+class TestReport:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", 3.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert geomean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_geomean_empty_nan(self):
+        assert np.isnan(geomean([]))
+
+    def test_sparkline(self):
+        s = sparkline([0, 1, 2, 3])
+        assert len(s) == 4
+        assert s[0] == " " and s[-1] == "█"
+
+    def test_sparkline_downsamples(self):
+        assert len(sparkline(list(range(1000)), width=50)) == 50
+
+    def test_sparkline_flat(self):
+        assert sparkline([5, 5, 5]) == "   "
+
+    def test_human_bytes(self):
+        assert human_bytes(512) == "512B"
+        assert human_bytes(2048) == "2.00KB"
+        assert human_bytes(3 * 1024**3) == "3.00GB"

@@ -1,0 +1,63 @@
+"""Tests for the Fig. 4 bitmap algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitmaps import and_map, ondemand_map, split_active
+
+
+def masks(n=24):
+    return st.tuples(st.integers(0, 2**n - 1), st.integers(0, 2**n - 1)).map(
+        lambda t: (
+            np.array([(t[0] >> i) & 1 for i in range(n)], dtype=bool),
+            np.array([(t[1] >> i) & 1 for i in range(n)], dtype=bool),
+        )
+    )
+
+
+class TestAndMap:
+    def test_basic(self):
+        a = np.array([1, 1, 0, 0], dtype=bool)
+        s = np.array([1, 0, 1, 0], dtype=bool)
+        assert list(and_map(a, s)) == [True, False, False, False]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            and_map(np.zeros(3, bool), np.zeros(4, bool))
+
+
+class TestOndemandMap:
+    def test_xor_equals_active_minus_static(self):
+        a = np.array([1, 1, 1, 0], dtype=bool)
+        smap = np.array([1, 0, 0, 0], dtype=bool)
+        assert list(ondemand_map(a, smap)) == [False, True, True, False]
+
+    def test_subset_violation_rejected(self):
+        a = np.array([0, 1], dtype=bool)
+        smap = np.array([1, 0], dtype=bool)  # static map not ⊆ active
+        with pytest.raises(ValueError):
+            ondemand_map(a, smap)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ondemand_map(np.zeros(2, bool), np.zeros(3, bool))
+
+
+class TestSplitActive:
+    @given(masks())
+    def test_property_partition_of_active(self, ms):
+        """StaticMap and OndemandMap partition the active set exactly."""
+        active, static = ms
+        smap, odmap = split_active(active, static)
+        assert not (smap & odmap).any()  # disjoint
+        assert np.array_equal(smap | odmap, active)  # cover
+        assert np.array_equal(smap, active & static)  # Fig. 4 definition
+
+    @given(masks())
+    def test_property_xor_identity(self, ms):
+        """The paper's XOR formulation equals AND-NOT for subset maps."""
+        active, static = ms
+        smap, odmap = split_active(active, static)
+        assert np.array_equal(odmap, active & ~static)

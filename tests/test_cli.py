@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "XX", "--algo", "BFS"])
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "FK", "--algo", "BFS", "--engine", "CUDA"]
+            )
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "--dataset", "FK", "--algo", "BFS"])
+        assert args.engine == "Ascetic"
+        assert args.ratio is None
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for abbr in ("GS", "FK", "FS", "UK"):
+            assert abbr in out
+
+    def test_run(self, capsys):
+        rc = main(
+            ["run", "--dataset", "FK", "--algo", "BFS", "--scale", "5e-5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Ascetic" in out
+        assert "static_ratio" in out
+
+    def test_run_with_ascetic_flags(self, capsys):
+        rc = main(
+            [
+                "run", "--dataset", "FK", "--algo", "CC", "--scale", "5e-5",
+                "--fill", "lazy", "--no-overlap",
+            ]
+        )
+        assert rc == 0
+        assert "static_prefill_bytes" in capsys.readouterr().out
+
+    def test_run_forced_ratio(self, capsys):
+        rc = main(
+            ["run", "--dataset", "FK", "--algo", "BFS", "--scale", "5e-5",
+             "--ratio", "0.5"]
+        )
+        assert rc == 0
+        assert "0.5" in capsys.readouterr().out
+
+    def test_run_other_engine(self, capsys):
+        rc = main(
+            ["run", "--dataset", "FK", "--algo", "BFS", "--scale", "5e-5",
+             "--engine", "Subway"]
+        )
+        assert rc == 0
+        assert "Subway" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--dataset", "FK", "--algo", "BFS", "--scale", "5e-5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for engine in ("PT", "UVM", "Subway", "Ascetic"):
+            assert engine in out
+
+    def test_sweep_ratio(self, capsys):
+        rc = main(
+            ["sweep-ratio", "--dataset", "FK", "--algo", "CC", "--scale", "5e-5",
+             "--ratios", "0.0", "0.9"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Eq. 2" in out
+        assert "Subway baseline" in out

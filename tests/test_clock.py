@@ -1,0 +1,57 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.gpusim.clock import Span, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance(self):
+        c = VirtualClock()
+        assert c.advance(1.5) == 1.5
+        assert c.advance(0.5) == 2.0
+
+    def test_advance_zero_ok(self):
+        c = VirtualClock()
+        c.advance(0.0)
+        assert c.now == 0.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_advance_to_future(self):
+        c = VirtualClock()
+        c.advance_to(3.0)
+        assert c.now == 3.0
+
+    def test_advance_to_past_is_noop(self):
+        c = VirtualClock(now=5.0)
+        c.advance_to(2.0)
+        assert c.now == 5.0
+
+    def test_reset(self):
+        c = VirtualClock(record=True)
+        c.advance(1.0)
+        c.log("gpu", "k", 0.0, 1.0)
+        c.reset()
+        assert c.now == 0.0 and not c.spans
+
+
+class TestSpans:
+    def test_logging_disabled_by_default(self):
+        c = VirtualClock()
+        assert c.log("gpu", "k", 0.0, 1.0) is None
+        assert c.spans == []
+
+    def test_logging_enabled(self):
+        c = VirtualClock(record=True)
+        s = c.log("copy", "h2d", 1.0, 2.5)
+        assert s == Span("copy", "h2d", 1.0, 2.5)
+        assert c.spans == [s]
+
+    def test_span_duration(self):
+        assert Span("gpu", "k", 1.0, 3.5).duration == 2.5

@@ -1,0 +1,88 @@
+"""Configuration-validation tests: every bad knob fails loudly and early."""
+
+import pytest
+
+from repro.core.ascetic import AsceticConfig, AsceticEngine
+from repro.core.static_region import StaticRegion
+from repro.engines.partition_based import PartitionEngine
+from repro.engines.subway import SubwayEngine
+from repro.engines.uvm_engine import UVMEngine
+from repro.gpusim.device import GPUSpec
+
+from conftest import TEST_SCALE, make_spec_for
+
+
+class TestAsceticConfig:
+    def test_bad_fill_rejected_at_prepare(self, small_social):
+        from repro.algorithms import make_program
+
+        spec = make_spec_for(small_social)
+        eng = AsceticEngine(
+            spec=spec, data_scale=TEST_SCALE, config=AsceticConfig(fill="middle")
+        )
+        with pytest.raises(ValueError):
+            eng.run(small_social, make_program("CC"))
+
+    def test_forced_ratio_out_of_range(self, small_social):
+        from repro.algorithms import make_program
+
+        spec = make_spec_for(small_social)
+        eng = AsceticEngine(
+            spec=spec, data_scale=TEST_SCALE,
+            config=AsceticConfig(forced_ratio=1.5),
+        )
+        with pytest.raises(ValueError):
+            eng.run(small_social, make_program("CC"))
+
+    def test_bad_k_rejected_at_prepare(self, small_social):
+        from repro.algorithms import make_program
+
+        spec = make_spec_for(small_social)
+        eng = AsceticEngine(
+            spec=spec, data_scale=TEST_SCALE, config=AsceticConfig(k=1.0)
+        )
+        with pytest.raises(ValueError):
+            eng.run(small_social, make_program("CC"))
+
+    def test_with_rejects_unknown_field(self):
+        with pytest.raises(TypeError):
+            AsceticConfig().with_(bogus=1)
+
+
+class TestEngineArguments:
+    def test_negative_pinned_partitions(self):
+        with pytest.raises(ValueError):
+            PartitionEngine(pinned_partitions=-2)
+
+    def test_pin_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            UVMEngine(pin_fraction=-0.1)
+
+    @pytest.mark.parametrize("cls", [PartitionEngine, SubwayEngine, UVMEngine, AsceticEngine])
+    def test_data_scale_bounds(self, cls):
+        with pytest.raises(ValueError):
+            cls(data_scale=0)
+        with pytest.raises(ValueError):
+            cls(data_scale=2.0)
+
+
+class TestSpecValidation:
+    def test_all_invalid_fields_raise(self):
+        bad = [
+            dict(memory_bytes=0),
+            dict(uvm_page_size=-1),
+            dict(uvm_fault_batch=0),
+            dict(uvm_fault_latency=-1.0),
+            dict(uvm_migration_bandwidth=0),
+            dict(uvm_kernel_penalty=0.9),
+            dict(uvm_prefetch_pages=-1),
+        ]
+        for kwargs in bad:
+            with pytest.raises(ValueError):
+                GPUSpec(**kwargs)
+
+
+class TestStaticRegionValidation:
+    def test_bad_fragment(self, small_social):
+        with pytest.raises(ValueError):
+            StaticRegion(small_social, 100, fragment_chunks=0)

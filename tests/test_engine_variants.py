@@ -1,0 +1,143 @@
+"""Tests for the engine variants: double-buffered PT and pipelined Subway."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_program
+from repro.algorithms.validate import reference_cc_labels
+from repro.engines.partition_based import PartitionEngine
+from repro.engines.subway import SubwayEngine
+from repro.graph.properties import best_source
+
+from conftest import TEST_SCALE, make_spec_for
+
+
+class TestDoubleBufferedPT:
+    def test_same_values(self, small_social):
+        spec = make_spec_for(small_social)
+        a = PartitionEngine(spec=spec, data_scale=TEST_SCALE).run(
+            small_social, make_program("CC")
+        )
+        b = PartitionEngine(spec=spec, data_scale=TEST_SCALE, double_buffer=True).run(
+            small_social, make_program("CC")
+        )
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(a.values, reference_cc_labels(small_social))
+
+    def test_not_slower(self, small_social):
+        spec = make_spec_for(small_social, edge_fraction=0.4)
+        single = PartitionEngine(spec=spec, data_scale=TEST_SCALE).run(
+            small_social, make_program("CC")
+        )
+        double = PartitionEngine(
+            spec=spec, data_scale=TEST_SCALE, double_buffer=True
+        ).run(small_social, make_program("CC"))
+        assert double.elapsed_seconds <= single.elapsed_seconds
+        # Pipelining hides transfer behind compute: less GPU idle.
+        assert double.gpu_idle_fraction <= single.gpu_idle_fraction
+
+    def test_same_bytes_moved(self, small_social):
+        """Double buffering changes *when*, never *what* moves — apart from
+        smaller partitions rounding to more bursts."""
+        spec = make_spec_for(small_social, edge_fraction=0.4)
+        single = PartitionEngine(spec=spec, data_scale=TEST_SCALE).run(
+            small_social, make_program("CC")
+        )
+        double = PartitionEngine(
+            spec=spec, data_scale=TEST_SCALE, double_buffer=True
+        ).run(small_social, make_program("CC"))
+        assert double.metrics.bytes_h2d == pytest.approx(
+            single.metrics.bytes_h2d, rel=0.02
+        )
+
+    def test_halves_partitions(self, small_social):
+        spec = make_spec_for(small_social, edge_fraction=0.4)
+        single = PartitionEngine(spec=spec, data_scale=TEST_SCALE).run(
+            small_social, make_program("CC")
+        )
+        double = PartitionEngine(
+            spec=spec, data_scale=TEST_SCALE, double_buffer=True
+        ).run(small_social, make_program("CC"))
+        assert double.extra["n_partitions"] >= 2 * single.extra["n_partitions"] - 1
+
+
+class TestPipelinedSubway:
+    def test_same_values(self, small_social):
+        spec = make_spec_for(small_social)
+        src = best_source(small_social)
+        a = SubwayEngine(spec=spec, data_scale=TEST_SCALE).run(
+            small_social, make_program("BFS", source=src)
+        )
+        b = SubwayEngine(spec=spec, data_scale=TEST_SCALE, pipelined=True).run(
+            small_social, make_program("BFS", source=src)
+        )
+        assert np.array_equal(a.values, b.values)
+
+    def test_faster_on_dense_frontiers(self, small_social):
+        spec = make_spec_for(small_social, edge_fraction=0.3)
+        seq = SubwayEngine(spec=spec, data_scale=TEST_SCALE).run(
+            small_social, make_program("CC")
+        )
+        pipe = SubwayEngine(spec=spec, data_scale=TEST_SCALE, pipelined=True).run(
+            small_social, make_program("CC")
+        )
+        assert pipe.elapsed_seconds < seq.elapsed_seconds
+
+    def test_ascetic_still_ahead(self, small_social):
+        """The ablation's point: pipelining alone does not close the gap —
+        the Static Region's avoided transfers are the bigger lever."""
+        from repro.core.ascetic import AsceticEngine
+
+        spec = make_spec_for(small_social, edge_fraction=0.3)
+        pipe = SubwayEngine(spec=spec, data_scale=TEST_SCALE, pipelined=True).run(
+            small_social, make_program("CC")
+        )
+        asc = AsceticEngine(spec=spec, data_scale=TEST_SCALE).run(
+            small_social, make_program("CC")
+        )
+        assert asc.elapsed_seconds < pipe.elapsed_seconds
+
+
+class TestPinnedPartitionPT:
+    """Fig. 1's "Partition + Reuse" row — the paper's §1 motivating hack."""
+
+    def test_reduces_transfer(self, small_social):
+        spec = make_spec_for(small_social, edge_fraction=0.4)
+        base = PartitionEngine(spec=spec, data_scale=TEST_SCALE).run(
+            small_social, make_program("CC")
+        )
+        pinned = PartitionEngine(
+            spec=spec, data_scale=TEST_SCALE, pinned_partitions=1
+        ).run(small_social, make_program("CC"))
+        # §1: pinning one partition cut PR/FK transfer by 26 %.
+        assert pinned.metrics.bytes_h2d < 0.9 * base.metrics.bytes_h2d
+
+    def test_same_values(self, small_social):
+        spec = make_spec_for(small_social, edge_fraction=0.4)
+        base = PartitionEngine(spec=spec, data_scale=TEST_SCALE).run(
+            small_social, make_program("CC")
+        )
+        pinned = PartitionEngine(
+            spec=spec, data_scale=TEST_SCALE, pinned_partitions=2
+        ).run(small_social, make_program("CC"))
+        assert np.array_equal(base.values, pinned.values)
+
+    def test_invalid_count(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            PartitionEngine(pinned_partitions=-1)
+
+    def test_still_worse_than_ascetic(self, small_social):
+        """The §1 hack helps, but the full framework (right-sized regions,
+        fine-grained on-demand fetch, overlap) is what gets the 2×."""
+        from repro.core.ascetic import AsceticEngine
+
+        spec = make_spec_for(small_social, edge_fraction=0.4)
+        pinned = PartitionEngine(
+            spec=spec, data_scale=TEST_SCALE, pinned_partitions=1
+        ).run(small_social, make_program("CC"))
+        asc = AsceticEngine(spec=spec, data_scale=TEST_SCALE).run(
+            small_social, make_program("CC")
+        )
+        assert asc.elapsed_seconds < pinned.elapsed_seconds

@@ -1,0 +1,130 @@
+"""Tests for the algorithm extensions: delta-stepping SSSP and pull PR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import PageRankPull, SSSP, make_program
+from repro.algorithms.frontier import active_edge_count
+from repro.algorithms.validate import (
+    assert_allclose_ranks,
+    reference_pagerank,
+    reference_sssp_distances,
+)
+from repro.graph.generators import erdos_renyi_graph, path_graph
+from repro.graph.properties import best_source
+
+
+def total_relaxed(graph, program):
+    state = program.init_state(graph)
+    total = 0
+    while state.active.any() and not program.done(state):
+        total += active_edge_count(graph, state.active)
+        program.step(graph, state)
+    return total, program.values(state), state.iteration
+
+
+class TestDeltaStepping:
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            SSSP(delta=0)
+
+    def test_exactness(self, small_web):
+        g = small_web.with_random_weights(high=32, seed=5)
+        src = best_source(g)
+        ref = reference_sssp_distances(g, src)
+        for delta in (1, 8, 64):
+            _, values, _ = total_relaxed(g, SSSP(source=src, delta=delta))
+            assert np.array_equal(values, ref), delta
+
+    def test_prunes_relaxations_on_weighted_deep_graph(self, small_web):
+        g = small_web.with_random_weights(high=32, seed=5)
+        src = best_source(g)
+        plain, _, _ = total_relaxed(g, SSSP(source=src))
+        stepped, _, _ = total_relaxed(g, SSSP(source=src, delta=8))
+        assert stepped < 0.6 * plain
+
+    def test_huge_delta_degenerates_to_bellman_ford(self, small_web):
+        g = small_web.with_random_weights(high=4, seed=5)
+        src = best_source(g)
+        plain, _, it_plain = total_relaxed(g, SSSP(source=src))
+        huge, _, it_huge = total_relaxed(g, SSSP(source=src, delta=10**9))
+        assert huge == plain
+        assert it_huge == it_plain
+
+    def test_unreachable_stays_inf(self):
+        from repro.algorithms.sssp import INF_DIST
+
+        g = path_graph(5).with_weights([1, 1, 1, 1])
+        _, values, _ = total_relaxed(g, SSSP(source=2, delta=2))
+        assert values[0] == INF_DIST and values[1] == INF_DIST
+
+    @given(st.integers(0, 300), st.integers(1, 40))
+    @settings(max_examples=15)
+    def test_property_exact_for_any_delta(self, seed, delta):
+        g = erdos_renyi_graph(40, 200, seed=seed).with_random_weights(
+            high=16, seed=seed
+        )
+        src = seed % g.n_vertices
+        _, values, _ = total_relaxed(g, SSSP(source=src, delta=delta))
+        assert np.array_equal(values, reference_sssp_distances(g, src))
+
+    def test_runs_under_engines(self, small_web):
+        from conftest import TEST_SCALE, make_spec_for
+        from repro.core.ascetic import AsceticEngine
+
+        g = small_web.with_random_weights(high=16, seed=3)
+        src = best_source(g)
+        res = AsceticEngine(spec=make_spec_for(g), data_scale=TEST_SCALE).run(
+            g, SSSP(source=src, delta=8)
+        )
+        assert np.array_equal(res.values, reference_sssp_distances(g, src))
+
+
+class TestPageRankPull:
+    def test_registered(self):
+        assert make_program("PR-PULL").name == "PR-PULL"
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PageRankPull(damping=0.0)
+        with pytest.raises(ValueError):
+            PageRankPull(tol=-1)
+
+    def test_matches_linear_system(self, small_social):
+        rev = small_social.reverse()
+        r = PageRankPull(tol=1e-5).run_reference(rev)
+        assert_allclose_ranks(r, reference_pagerank(small_social), rtol=5e-3)
+
+    def test_matches_push_variant(self, small_web):
+        push = make_program("PR", tol=1e-5).run_reference(small_web)
+        pull = PageRankPull(tol=1e-5).run_reference(small_web.reverse())
+        assert np.allclose(push, pull, rtol=1e-2, atol=1e-9)
+
+    def test_everything_active_every_iteration(self, small_social):
+        """The pull mode's defining (and damning) property."""
+        rev = small_social.reverse()
+        p = PageRankPull(tol=1e-3)
+        state = p.init_state(rev)
+        assert state.active.all()
+        p.step(rev, state)
+        if state.active.any():
+            assert state.active.all()
+
+    def test_pull_streams_more_than_push(self, small_social):
+        """Why the paper pushes (§3.1): pull's full-scan iterations move
+        far more data through an out-of-memory engine."""
+        from conftest import TEST_SCALE, make_spec_for
+        from repro.engines.subway import SubwayEngine
+
+        spec = make_spec_for(small_social, edge_fraction=0.4)
+        push = SubwayEngine(spec=spec, data_scale=TEST_SCALE).run(
+            small_social, make_program("PR", tol=1e-2)
+        )
+        pull = SubwayEngine(spec=spec, data_scale=TEST_SCALE).run(
+            small_social.reverse(), make_program("PR-PULL", tol=1e-2)
+        )
+        per_iter_push = push.metrics.bytes_h2d / push.iterations
+        per_iter_pull = pull.metrics.bytes_h2d / pull.iterations
+        assert per_iter_pull > per_iter_push

@@ -1,0 +1,85 @@
+"""Tests for frontier expansion — the shared superstep primitive."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.frontier import active_edge_count, expand_frontier
+from repro.graph.generators import rmat_graph
+
+
+def brute_expand(graph, active):
+    srcs, poss = [], []
+    for v in np.nonzero(active)[0]:
+        for e in range(graph.indptr[v], graph.indptr[v + 1]):
+            srcs.append(v)
+            poss.append(e)
+    return np.array(srcs, dtype=np.int64), np.array(poss, dtype=np.int64)
+
+
+class TestExpand:
+    def test_empty_frontier(self, small_rmat):
+        active = np.zeros(small_rmat.n_vertices, dtype=bool)
+        exp = expand_frontier(small_rmat, active)
+        assert exp.n_edges == 0
+
+    def test_full_frontier_is_all_edges(self, small_rmat):
+        active = np.ones(small_rmat.n_vertices, dtype=bool)
+        exp = expand_frontier(small_rmat, active)
+        assert exp.n_edges == small_rmat.n_edges
+        assert np.array_equal(exp.positions, np.arange(small_rmat.n_edges))
+
+    def test_single_vertex(self, small_rmat):
+        v = int(np.argmax(small_rmat.out_degree()))
+        active = np.zeros(small_rmat.n_vertices, dtype=bool)
+        active[v] = True
+        exp = expand_frontier(small_rmat, active)
+        assert np.all(exp.sources == v)
+        lo, hi = small_rmat.edge_range(v, v + 1)
+        assert np.array_equal(exp.positions, np.arange(lo, hi))
+
+    def test_zero_degree_vertices_skipped(self, tiny_star):
+        active = np.ones(tiny_star.n_vertices, dtype=bool)
+        exp = expand_frontier(tiny_star, active)
+        assert np.all(exp.sources == 0)
+
+    def test_wrong_shape_rejected(self, tiny_path):
+        with pytest.raises(ValueError):
+            expand_frontier(tiny_path, np.zeros(3, dtype=bool))
+
+    def test_positions_sorted(self, small_rmat):
+        rng = np.random.default_rng(0)
+        active = rng.random(small_rmat.n_vertices) < 0.3
+        exp = expand_frontier(small_rmat, active)
+        assert np.all(np.diff(exp.positions) > 0)
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_property_matches_bruteforce(self, bits):
+        g = rmat_graph(5, 200, seed=13, directed=True)
+        active = np.array(
+            [(bits >> (i % 32)) & 1 for i in range(g.n_vertices)], dtype=bool
+        )
+        exp = expand_frontier(g, active)
+        bs, bp = brute_expand(g, active)
+        assert np.array_equal(exp.sources, bs)
+        assert np.array_equal(exp.positions, bp)
+        assert active_edge_count(g, active) == bp.size
+
+
+class TestActiveEdgeCount:
+    def test_empty(self, small_rmat):
+        assert active_edge_count(small_rmat, np.zeros(small_rmat.n_vertices, bool)) == 0
+
+    def test_all(self, small_rmat):
+        assert (
+            active_edge_count(small_rmat, np.ones(small_rmat.n_vertices, bool))
+            == small_rmat.n_edges
+        )
+
+    def test_matches_expansion_without_materializing(self, small_web):
+        rng = np.random.default_rng(1)
+        active = rng.random(small_web.n_vertices) < 0.1
+        assert active_edge_count(small_web, active) == expand_frontier(
+            small_web, active
+        ).n_edges

@@ -1,0 +1,124 @@
+"""Tests for the experiment harness and sweeps."""
+
+import pytest
+
+from repro.core.ascetic import AsceticConfig
+from repro.harness.experiments import (
+    ENGINES,
+    clear_dataset_cache,
+    make_workload,
+    run_all_engines,
+    run_cell,
+)
+from repro.harness.sweeps import sweep_gpu_memory, sweep_rmat_sizes, sweep_static_ratio
+
+SCALE = 5e-5  # tiny but structurally faithful
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_dataset_cache()
+    yield
+    clear_dataset_cache()
+
+
+class TestWorkloads:
+    def test_engine_registry(self):
+        assert set(ENGINES) == {"PT", "UVM", "Subway", "Ascetic"}
+
+    def test_make_workload_basic(self):
+        w = make_workload("FK", "BFS", scale=SCALE)
+        assert w.algorithm == "BFS"
+        assert w.graph.n_vertices > 0
+        assert w.spec.memory_bytes == w.dataset.gpu_memory_bytes
+
+    def test_sssp_gets_weights(self):
+        w = make_workload("FK", "SSSP", scale=SCALE)
+        assert w.graph.is_weighted
+        assert not make_workload("FK", "BFS", scale=SCALE).graph.is_weighted
+
+    def test_fresh_program_independent(self):
+        w = make_workload("FK", "PR", scale=SCALE)
+        assert w.fresh_program() is not w.fresh_program()
+
+    def test_memory_override(self):
+        w = make_workload("FK", "BFS", scale=SCALE, memory_bytes=123456)
+        assert w.spec.memory_bytes == 123456
+
+    def test_dataset_cached(self):
+        a = make_workload("FK", "BFS", scale=SCALE)
+        b = make_workload("FK", "CC", scale=SCALE)
+        assert a.dataset is b.dataset
+
+
+class TestRunCell:
+    def test_all_engines_complete(self):
+        w = make_workload("FK", "BFS", scale=SCALE)
+        results = run_all_engines(w)
+        assert set(results) == set(ENGINES)
+        for res in results.values():
+            assert res.elapsed_seconds > 0
+
+    def test_engine_kwargs_forwarded(self):
+        w = make_workload("FK", "BFS", scale=SCALE)
+        res = run_cell(w, "Ascetic", config=AsceticConfig(overlap=False))
+        assert res.engine == "Ascetic"
+
+
+class TestSweeps:
+    def test_static_ratio_sweep(self):
+        w = make_workload("FK", "CC", scale=SCALE)
+        points, subway_s, eq2 = sweep_static_ratio(w, [0.0, 0.5, 0.9])
+        assert [p.ratio for p in points] == [0.0, 0.5, 0.9]
+        assert subway_s > 0
+        assert 0.0 <= eq2 <= 1.0
+        # More static region ⇒ more static compute, less transfer.
+        assert points[-1].t_sr > points[0].t_sr
+        assert points[-1].t_transfer < points[0].t_transfer
+
+    def test_memory_sweep(self):
+        points = sweep_gpu_memory("FK", "CC", [0.4, 0.8], scale=SCALE)
+        assert len(points) == 2
+        for p in points:
+            assert p.ascetic_seconds > 0 and p.subway_seconds > 0
+            assert p.speedup > 0
+
+    def test_rmat_sweep(self):
+        points = sweep_rmat_sizes("CC", [2.5e9, 5e9], scale=2e-5)
+        assert len(points) == 2
+        assert points[0].memory_fraction > points[1].memory_fraction
+
+
+class TestExtensionWorkloads:
+    def test_sswp_gets_weights_and_source(self):
+        w = make_workload("FK", "SSWP", scale=SCALE)
+        assert w.graph.is_weighted
+        prog = w.fresh_program()
+        assert prog.name == "SSWP"
+        res = run_cell(w, "Ascetic")
+        assert res.algorithm == "SSWP"
+
+    def test_pr_pull_streams_reverse_graph(self):
+        fwd = make_workload("UK", "PR", scale=SCALE)
+        pull = make_workload("UK", "PR-PULL", scale=SCALE)
+        assert pull.graph.n_edges == fwd.graph.n_edges
+        # Reverse CSR: out-degrees differ from the forward graph's.
+        import numpy as np
+
+        assert not np.array_equal(pull.graph.out_degree(), fwd.graph.out_degree())
+        res = run_cell(pull, "Subway")
+        assert res.iterations > 1
+
+
+class TestPersistenceIntegration:
+    def test_grid_cell_round_trips(self, tmp_path):
+        from repro.harness.persistence import load_results, save_results
+
+        w = make_workload("FK", "BFS", scale=SCALE)
+        res = run_cell(w, "Ascetic")
+        p = tmp_path / "cell.json"
+        save_results([res], p, include_iterations=True)
+        loaded = load_results(p)[0]
+        assert loaded["algorithm"] == "BFS"
+        assert loaded["extra"]["static_ratio"] == res.extra["static_ratio"]
+        assert len(loaded["per_iteration"]) == res.iterations

@@ -1,0 +1,99 @@
+"""Tests for graph serialization."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.io import load_csr, load_edgelist, save_csr, save_edgelist
+
+
+@pytest.fixture()
+def weighted_graph():
+    return CSRGraph.from_edges(
+        [0, 0, 1, 3], [1, 2, 2, 0], 4, weights=[5, 6, 7, 8], name="wg"
+    )
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path, small_rmat):
+        p = tmp_path / "g.npz"
+        save_csr(small_rmat, p)
+        g = load_csr(p)
+        assert np.array_equal(g.indptr, small_rmat.indptr)
+        assert np.array_equal(g.indices, small_rmat.indices)
+        assert g.directed == small_rmat.directed
+        assert g.name == small_rmat.name
+
+    def test_roundtrip_weighted(self, tmp_path, weighted_graph):
+        p = tmp_path / "g.npz"
+        save_csr(weighted_graph, p)
+        g = load_csr(p)
+        assert np.array_equal(g.weights, weighted_graph.weights)
+
+    def test_unweighted_has_no_weights(self, tmp_path, tiny_path):
+        p = tmp_path / "g.npz"
+        save_csr(tiny_path, p)
+        assert load_csr(p).weights is None
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, small_rmat):
+        p = tmp_path / "g.txt"
+        save_edgelist(small_rmat, p)
+        g = load_edgelist(p, directed=True, n_vertices=small_rmat.n_vertices)
+        assert g.n_edges == small_rmat.n_edges
+        a = sorted(zip(small_rmat.edge_sources().tolist(), small_rmat.indices.tolist()))
+        b = sorted(zip(g.edge_sources().tolist(), g.indices.tolist()))
+        assert a == b
+
+    def test_roundtrip_weighted(self, tmp_path, weighted_graph):
+        p = tmp_path / "g.txt"
+        save_edgelist(weighted_graph, p)
+        g = load_edgelist(p, weighted=True)
+        assert sorted(g.weights.tolist()) == sorted(weighted_graph.weights.tolist())
+
+    def test_comments_skipped(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# comment\n% konect header\n0 1\n1 2\n")
+        g = load_edgelist(p)
+        assert g.n_edges == 2
+        assert g.n_vertices == 3
+
+    def test_weighted_missing_column_raises(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n")
+        with pytest.raises(ValueError):
+            load_edgelist(p, weighted=True)
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# nothing\n")
+        g = load_edgelist(p, n_vertices=4)
+        assert g.n_edges == 0
+        assert g.n_vertices == 4
+
+    def test_n_vertices_inferred(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 7\n")
+        assert load_edgelist(p).n_vertices == 8
+
+
+class TestFuzzRoundTrip:
+    def test_property_npz_round_trip(self, tmp_path):
+        from hypothesis import given, settings, strategies as st
+        from repro.graph.generators import erdos_renyi_graph
+
+        # hypothesis-free fuzz (tmp_path fixture + @given do not compose):
+        # a spread of sizes/seeds, weighted and not.
+        for seed in range(8):
+            n = 5 + seed * 13
+            m = 3 + seed * 29
+            g = erdos_renyi_graph(n, m, seed=seed, directed=bool(seed % 2))
+            if seed % 3 == 0:
+                g = g.with_random_weights(seed=seed)
+            p = tmp_path / f"g{seed}.npz"
+            save_csr(g, p)
+            g2 = load_csr(p)
+            assert np.array_equal(g2.indptr, g.indptr)
+            assert np.array_equal(g2.indices, g.indices)
+            assert (g2.weights is None) == (g.weights is None)

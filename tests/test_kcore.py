@@ -1,0 +1,98 @@
+"""Tests for k-core decomposition."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import KCore, make_program
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import complete_graph, erdos_renyi_graph, grid_graph
+
+
+def simple_undirected(n, m, seed):
+    """A deduplicated, loop-free undirected graph (networkx-comparable)."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    keep = src != dst
+    return CSRGraph.from_edges(src[keep], dst[keep], n, directed=False, dedup=True)
+
+
+class TestKCore:
+    def test_registered(self):
+        assert make_program("KCORE").name == "KCORE"
+
+    def test_rejects_directed(self, tiny_path):
+        with pytest.raises(ValueError):
+            KCore().run_reference(tiny_path)
+
+    def test_triangle_with_tail(self):
+        g = CSRGraph.from_edges([0, 1, 2, 2], [1, 2, 0, 3], 4,
+                                directed=False, dedup=True)
+        core = KCore().run_reference(g)
+        assert list(core) == [2, 2, 2, 1]
+
+    def test_isolated_vertices_core_zero(self):
+        g = CSRGraph.from_edges([0], [1], 4, directed=False)
+        core = KCore().run_reference(g)
+        assert core[2] == 0 and core[3] == 0
+
+    def test_grid_against_networkx(self, tiny_grid):
+        core = KCore().run_reference(tiny_grid)
+        ref = nx.core_number(tiny_grid.to_networkx())
+        assert all(core[v] == ref[v] for v in range(tiny_grid.n_vertices))
+
+    def test_clique_core(self):
+        g = complete_graph(6, directed=False)
+        # complete_graph(directed=False) doubles arcs; dedup to a simple clique.
+        g = CSRGraph.from_edges(
+            g.edge_sources(), g.indices, 6, directed=True, dedup=True
+        )
+        g.directed = False
+        core = KCore().run_reference(g)
+        assert np.all(core == 5)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=15)
+    def test_property_matches_networkx(self, seed):
+        g = simple_undirected(30, 90, seed)
+        core = KCore().run_reference(g)
+        ref = nx.core_number(g.to_networkx())
+        for v in range(g.n_vertices):
+            assert core[v] == ref.get(v, 0), v
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=10)
+    def test_property_core_invariants(self, seed):
+        g = simple_undirected(25, 60, seed)
+        core = KCore().run_reference(g)
+        deg = g.out_degree()
+        # Coreness never exceeds degree; max coreness subgraph is non-empty.
+        assert np.all(core <= deg)
+        if g.n_edges:
+            kmax = core.max()
+            members = np.nonzero(core == kmax)[0]
+            assert members.size >= kmax + 1 or kmax == 0
+
+    def test_runs_under_engines(self, small_social):
+        from conftest import TEST_SCALE, make_spec_for
+        from repro.core.ascetic import AsceticEngine
+        from repro.engines.subway import SubwayEngine
+
+        ref = KCore().run_reference(small_social)
+        spec = make_spec_for(small_social)
+        for cls in (SubwayEngine, AsceticEngine):
+            res = cls(spec=spec, data_scale=TEST_SCALE).run(
+                small_social, make_program("KCORE")
+            )
+            assert np.array_equal(res.values, ref), cls.name
+
+    def test_multiplicity_semantics_documented(self):
+        """Parallel edges count toward degree (multigraph k-core) — the CSR
+        stores what it is given."""
+        g = CSRGraph.from_edges([0, 0, 1], [1, 1, 2], 3, directed=False)
+        core = KCore().run_reference(g)
+        # Vertex 0 and 1 share a double edge: both survive k=2 peeling.
+        assert core[0] == 2 and core[1] == 2 and core[2] == 1

@@ -1,0 +1,77 @@
+"""Tests for On-demand Engine planning."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ondemand import OFFSET_BYTES_PER_VERTEX, plan_ondemand
+from repro.graph.generators import rmat_graph
+
+
+@pytest.fixture()
+def graph():
+    return rmat_graph(7, 900, seed=17, directed=True)
+
+
+class TestPlan:
+    def test_empty_mask(self, graph):
+        plan = plan_ondemand(graph, np.zeros(graph.n_vertices, bool), 1024)
+        assert plan.n_rounds == 0
+        assert plan.total_bytes == 0
+        assert list(plan.iter_rounds()) == []
+
+    def test_volumes(self, graph):
+        mask = np.zeros(graph.n_vertices, dtype=bool)
+        mask[:10] = True
+        plan = plan_ondemand(graph, mask, 10**9)
+        deg = graph.out_degree()[:10].sum()
+        assert plan.n_edges == deg
+        assert plan.edge_bytes == deg * graph.bytes_per_edge
+        assert plan.request_bytes == 10 * OFFSET_BYTES_PER_VERTEX
+        assert plan.n_vertices == 10
+
+    def test_single_round_when_fits(self, graph):
+        mask = np.ones(graph.n_vertices, dtype=bool)
+        plan = plan_ondemand(graph, mask, 10**9)
+        assert plan.n_rounds == 1
+
+    def test_rounds_split_when_overflowing(self, graph):
+        mask = np.ones(graph.n_vertices, dtype=bool)
+        plan = plan_ondemand(graph, mask, plan_total := None or 500)
+        assert plan.n_rounds == -(-plan.total_bytes // 500)
+
+    def test_round_sums_match_totals(self, graph):
+        mask = np.ones(graph.n_vertices, dtype=bool)
+        plan = plan_ondemand(graph, mask, 777)
+        rounds = list(plan.iter_rounds())
+        assert sum(r.nbytes for r in rounds) == plan.total_bytes
+        assert sum(r.n_edges for r in rounds) == plan.n_edges
+        assert len(rounds) == plan.n_rounds
+
+    def test_rounds_nearly_even(self, graph):
+        mask = np.ones(graph.n_vertices, dtype=bool)
+        plan = plan_ondemand(graph, mask, 777)
+        sizes = [r.nbytes for r in plan.iter_rounds()]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rounds_fit_region(self, graph):
+        mask = np.ones(graph.n_vertices, dtype=bool)
+        plan = plan_ondemand(graph, mask, 777)
+        assert all(r.nbytes <= 777 for r in plan.iter_rounds())
+
+    def test_degenerate_region_streams(self, graph):
+        mask = np.ones(graph.n_vertices, dtype=bool)
+        plan = plan_ondemand(graph, mask, 0)
+        # Floored at 1 byte per round: pathological but defined.
+        assert plan.n_rounds == plan.total_bytes
+
+    @given(st.integers(0, 2**30 - 1), st.integers(1, 5000))
+    def test_property_conservation(self, bits, region):
+        g = rmat_graph(5, 300, seed=19, directed=True)
+        mask = np.array([(bits >> (i % 30)) & 1 for i in range(g.n_vertices)], dtype=bool)
+        plan = plan_ondemand(g, mask, region)
+        rounds = list(plan.iter_rounds())
+        assert sum(r.nbytes for r in rounds) == plan.total_bytes
+        assert sum(r.n_edges for r in rounds) == plan.n_edges
+        assert all(r.nbytes >= 0 and r.n_edges >= 0 for r in rounds)

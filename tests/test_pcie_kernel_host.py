@@ -1,0 +1,111 @@
+"""Tests for the PCIe, kernel, and host-gather cost models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpusim.host import HostGather
+from repro.gpusim.kernel import KernelModel
+from repro.gpusim.pcie import PCIeLink
+
+
+class TestPCIe:
+    def test_zero_transfer_free(self):
+        assert PCIeLink().transfer_seconds(0) == 0.0
+        assert PCIeLink().payload_bytes(0) == 0
+
+    def test_burst_rounding(self):
+        link = PCIeLink(burst=16 * 1024)
+        assert link.payload_bytes(1) == 16 * 1024
+        assert link.payload_bytes(16 * 1024) == 16 * 1024
+        assert link.payload_bytes(16 * 1024 + 1) == 32 * 1024
+
+    def test_transfer_time_composition(self):
+        link = PCIeLink(bandwidth=1e9, latency=1e-5, burst=1024)
+        t = link.transfer_seconds(1024 * 1000)
+        assert t == pytest.approx(1e-5 + 1024 * 1000 / 1e9)
+
+    def test_latency_dominates_small(self):
+        link = PCIeLink()
+        small = link.transfer_seconds(64)
+        assert small >= link.latency
+
+    def test_streaming_single_latency(self):
+        link = PCIeLink(bandwidth=1e9, latency=1e-5, burst=1024)
+        t1 = link.streaming_seconds(10 * 1024, n_requests=1)
+        t10 = link.streaming_seconds(10 * 1024, n_requests=10)
+        assert t1 == t10  # queued requests pipeline their latencies
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PCIeLink(bandwidth=0)
+        with pytest.raises(ValueError):
+            PCIeLink(latency=-1)
+        with pytest.raises(ValueError):
+            PCIeLink(burst=0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            PCIeLink().transfer_seconds(-1)
+
+    @given(st.integers(0, 10**9))
+    def test_property_payload_geq_bytes(self, n):
+        link = PCIeLink()
+        assert link.payload_bytes(n) >= n
+        assert link.payload_bytes(n) - n < link.burst
+
+
+class TestKernelModel:
+    def test_zero_edges_free(self):
+        assert KernelModel().edge_kernel_seconds(0) == 0.0
+
+    def test_launch_overhead_included(self):
+        k = KernelModel(launch_overhead=1e-5)
+        assert k.edge_kernel_seconds(1) >= 1e-5
+
+    def test_atomics_penalty(self):
+        k = KernelModel(atomic_penalty=2.0)
+        plain = k.edge_kernel_seconds(10**6)
+        atomic = k.edge_kernel_seconds(10**6, atomics=True)
+        assert atomic > plain
+        assert (atomic - k.launch_overhead) == pytest.approx(
+            2.0 * (plain - k.launch_overhead)
+        )
+
+    def test_vertex_scan_passes(self):
+        k = KernelModel()
+        one = k.vertex_scan_seconds(10**6, passes=1)
+        two = k.vertex_scan_seconds(10**6, passes=2)
+        assert two > one
+
+    def test_zero_scan_free(self):
+        assert KernelModel().vertex_scan_seconds(0) == 0.0
+        assert KernelModel().vertex_scan_seconds(100, passes=0) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            KernelModel(edge_throughput=0)
+        with pytest.raises(ValueError):
+            KernelModel(atomic_penalty=0.5)
+        with pytest.raises(ValueError):
+            KernelModel().edge_kernel_seconds(-1)
+
+    @given(st.integers(0, 10**10))
+    def test_property_monotone(self, n):
+        k = KernelModel()
+        assert k.edge_kernel_seconds(n + 1) >= k.edge_kernel_seconds(n)
+
+
+class TestHostGather:
+    def test_zero_free(self):
+        assert HostGather().gather_seconds(0) == 0.0
+
+    def test_setup_plus_stream(self):
+        g = HostGather(bandwidth=1e9, setup=1e-4)
+        assert g.gather_seconds(10**9) == pytest.approx(1e-4 + 1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            HostGather(bandwidth=0)
+        with pytest.raises(ValueError):
+            HostGather().gather_seconds(-5)

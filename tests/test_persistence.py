@@ -1,0 +1,62 @@
+"""Tests for run-result serialization."""
+
+import json
+
+import pytest
+
+from repro.algorithms import make_program
+from repro.core.ascetic import AsceticEngine
+from repro.harness.persistence import load_results, result_to_dict, save_results
+
+from conftest import TEST_SCALE, make_spec_for
+
+
+@pytest.fixture(scope="module")
+def run(small_social):
+    spec = make_spec_for(small_social)
+    return AsceticEngine(spec=spec, data_scale=TEST_SCALE).run(
+        small_social, make_program("CC")
+    )
+
+
+class TestResultToDict:
+    def test_core_fields(self, run):
+        d = result_to_dict(run)
+        assert d["engine"] == "Ascetic"
+        assert d["algorithm"] == "CC"
+        assert d["iterations"] == run.iterations
+        assert d["metrics"]["bytes_h2d"] == run.metrics.bytes_h2d
+        assert "static_ratio" in d["extra"]
+        assert "per_iteration" not in d
+
+    def test_values_not_serialized(self, run):
+        assert "values" not in result_to_dict(run)
+
+    def test_iteration_detail_optional(self, run):
+        d = result_to_dict(run, include_iterations=True)
+        assert len(d["per_iteration"]) == run.iterations
+        assert d["per_iteration"][0]["active_vertices"] > 0
+
+    def test_json_safe(self, run):
+        json.dumps(result_to_dict(run, include_iterations=True))
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, run, tmp_path):
+        p = tmp_path / "runs.json"
+        save_results([run, run], p)
+        loaded = load_results(p)
+        assert len(loaded) == 2
+        assert loaded[0]["elapsed_seconds"] == run.elapsed_seconds
+
+    def test_load_rejects_non_list(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{}")
+        with pytest.raises(ValueError):
+            load_results(p)
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('[{"schema": 99}]')
+        with pytest.raises(ValueError):
+            load_results(p)

@@ -1,0 +1,75 @@
+"""Tests for graph statistics (repro.graph.properties)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import complete_graph, erdos_renyi_graph, star_graph
+from repro.graph.properties import (
+    best_source,
+    degree_gini,
+    graph_stats,
+    locality_fraction,
+)
+
+
+class TestDegreeGini:
+    def test_uniform_degrees_near_zero(self):
+        assert degree_gini(complete_graph(20)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_star_is_extreme(self):
+        g = star_graph(100)
+        assert degree_gini(g) > 0.9
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges([], [], 5)
+        assert degree_gini(g) == 0.0
+
+    def test_bounded(self, small_rmat, small_web, small_social):
+        for g in (small_rmat, small_web, small_social):
+            assert 0.0 <= degree_gini(g) <= 1.0
+
+
+class TestLocality:
+    def test_path_fully_local(self, tiny_path):
+        assert locality_fraction(tiny_path, window=1) == 1.0
+
+    def test_empty_graph(self):
+        assert locality_fraction(CSRGraph.from_edges([], [], 3)) == 0.0
+
+    def test_window_monotone(self, small_web):
+        small = locality_fraction(small_web, window=8)
+        large = locality_fraction(small_web, window=4096)
+        assert small <= large
+
+    def test_random_graph_low_locality(self):
+        g = erdos_renyi_graph(10_000, 50_000, seed=3)
+        assert locality_fraction(g, window=16) < 0.05
+
+
+class TestGraphStats:
+    def test_fields(self, small_social):
+        s = graph_stats(small_social)
+        assert s.n_vertices == small_social.n_vertices
+        assert s.n_edges == small_social.n_edges
+        assert s.max_out_degree == int(small_social.out_degree().max())
+        assert s.mean_out_degree == pytest.approx(
+            small_social.n_edges / small_social.n_vertices
+        )
+        assert 0 <= s.isolated_fraction <= 1
+
+    def test_empty_graph(self):
+        s = graph_stats(CSRGraph.from_edges([], [], 0))
+        assert s.n_vertices == 0 and s.max_out_degree == 0
+
+    def test_str_smoke(self, small_web):
+        assert "n=" in str(graph_stats(small_web))
+
+
+class TestBestSource:
+    def test_picks_max_degree(self, tiny_star):
+        assert best_source(tiny_star) == 0
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(ValueError):
+            best_source(CSRGraph.from_edges([], [], 0))

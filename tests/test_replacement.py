@@ -1,0 +1,139 @@
+"""Tests for the §3.4 hotness table and fragment swap planning."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.replacement import HotnessTable
+
+
+def table(n=64, policy="last", threshold=1):
+    return HotnessTable(n, policy=policy, stale_threshold=threshold)
+
+
+class TestUpdate:
+    def test_binarized(self):
+        h = table(4)
+        h.update(np.array([0, 5, 1, 0]))
+        assert list(h.last) == [0, 1, 1, 0]
+        assert list(h.cumulative) == [0, 1, 1, 0]
+
+    def test_cumulative_counts_iterations(self):
+        h = table(2)
+        h.update(np.array([3, 0]))
+        h.update(np.array([9, 0]))
+        assert list(h.cumulative) == [2, 0]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            table(4).update(np.zeros(5))
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            HotnessTable(4, policy="lru")
+        with pytest.raises(ValueError):
+            HotnessTable(4, stale_threshold=-1)
+
+
+class TestStaleness:
+    def test_last_policy_cold_chunks_stale(self):
+        h = table(3, policy="last")
+        h.update(np.array([1, 0, 1]))
+        assert list(h.staleness()) == [False, True, False]
+
+    def test_cumulative_policy_consumed_chunks_stale(self):
+        h = table(3, policy="cumulative", threshold=1)
+        h.update(np.array([1, 1, 0]))
+        assert not h.staleness().any()  # touched once: not yet consumed
+        h.update(np.array([1, 0, 0]))
+        assert list(h.staleness()) == [True, False, False]
+
+
+class TestPlanSwaps:
+    def _resident_front(self, n, k):
+        r = np.zeros(n, dtype=bool)
+        r[:k] = True
+        return r
+
+    def test_balanced_plan(self):
+        h = table(64, policy="last")
+        # Front 32 resident but cold; rear 32 hot but absent.
+        touched = np.zeros(64)
+        touched[32:] = 1
+        h.update(touched)
+        plan = h.plan_swaps(self._resident_front(64, 32), budget_chunks=16,
+                            fragment_chunks=8)
+        assert plan.n_swaps == 16
+        assert plan.evict.size == plan.load.size
+        assert plan.evict.max() < 32 and plan.load.min() >= 32
+
+    def test_budget_respected(self):
+        h = table(64, policy="last")
+        touched = np.zeros(64)
+        touched[32:] = 1
+        h.update(touched)
+        plan = h.plan_swaps(self._resident_front(64, 32), budget_chunks=9,
+                            fragment_chunks=8)
+        assert plan.n_swaps <= 9
+
+    def test_fragment_alignment(self):
+        h = table(64, policy="last")
+        touched = np.zeros(64)
+        touched[32:] = 1
+        h.update(touched)
+        plan = h.plan_swaps(self._resident_front(64, 32), budget_chunks=64,
+                            fragment_chunks=8)
+        # Loaded chunks form whole fragments.
+        assert set(plan.load // 8) <= set(range(4, 8))
+        for f in set(plan.load // 8):
+            assert np.count_nonzero(plan.load // 8 == f) == 8
+
+    def test_no_budget_no_plan(self):
+        h = table(16)
+        assert h.plan_swaps(np.ones(16, bool), 0).n_swaps == 0
+
+    def test_no_candidates_no_plan(self):
+        h = table(16, policy="last")
+        h.update(np.ones(16))  # everything hot
+        plan = h.plan_swaps(self._resident_front(16, 8), budget_chunks=8,
+                            fragment_chunks=4)
+        assert plan.n_swaps == 0  # nothing stale to evict
+
+    def test_mixed_fragments_not_touched(self):
+        h = table(16, policy="last")
+        h.update(np.zeros(16))
+        resident = np.zeros(16, dtype=bool)
+        resident[::2] = True  # every fragment partially resident
+        plan = h.plan_swaps(resident, budget_chunks=16, fragment_chunks=4)
+        assert plan.n_swaps == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            table(8).plan_swaps(np.ones(4, bool), 4)
+
+    def test_empty_table(self):
+        h = HotnessTable(0)
+        assert h.plan_swaps(np.zeros(0, bool), 10).n_swaps == 0
+
+    @given(
+        st.integers(0, 2**24 - 1),
+        st.integers(0, 2**24 - 1),
+        st.integers(1, 30),
+        st.integers(1, 8),
+    )
+    def test_property_plan_validity(self, res_bits, touch_bits, budget, frag):
+        """Any plan evicts only resident chunks, loads only absent ones,
+        stays balanced, and respects the budget."""
+        n = 24
+        h = table(n, policy="last")
+        h.update(np.array([(touch_bits >> i) & 1 for i in range(n)]))
+        resident = np.array([(res_bits >> i) & 1 for i in range(n)], dtype=bool)
+        plan = h.plan_swaps(resident, budget, fragment_chunks=frag)
+        assert plan.evict.size == plan.load.size
+        assert plan.n_swaps <= budget
+        if plan.n_swaps:
+            assert resident[plan.evict].all()
+            assert not resident[plan.load].any()
+            assert np.unique(plan.evict).size == plan.evict.size
+            assert np.unique(plan.load).size == plan.load.size

@@ -1,0 +1,91 @@
+"""Tests for the SSWP (widest path) extension algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import SSWP, make_program
+from repro.algorithms.sswp import SOURCE_WIDTH
+from repro.algorithms.validate import reference_sswp_widths
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi_graph, path_graph
+from repro.graph.properties import best_source
+
+
+class TestSSWP:
+    def test_registered(self):
+        assert make_program("SSWP").name == "SSWP"
+
+    def test_requires_weights(self, tiny_path):
+        with pytest.raises(ValueError):
+            SSWP(source=0).run_reference(tiny_path)
+
+    def test_path_bottleneck(self):
+        g = path_graph(4).with_weights([5, 2, 9])
+        w = SSWP(source=0).run_reference(g)
+        assert w[0] == SOURCE_WIDTH
+        assert list(w[1:]) == [5, 2, 2]  # min edge weight along the path
+
+    def test_wider_detour_wins(self):
+        # 0→2 direct width 1; 0→1→2 width min(5, 4) = 4.
+        g = CSRGraph.from_edges([0, 0, 1], [2, 1, 2], 3, weights=[1, 5, 4])
+        w = SSWP(source=0).run_reference(g)
+        assert w[2] == 4
+
+    def test_unreached_is_zero(self):
+        g = path_graph(4).with_weights([1, 1, 1])
+        w = SSWP(source=2).run_reference(g)
+        assert w[0] == 0 and w[1] == 0
+
+    def test_invalid_source(self, tiny_path):
+        with pytest.raises(ValueError):
+            SSWP(source=99).init_state(tiny_path.with_random_weights())
+
+    def test_against_reference(self, small_social):
+        g = small_social.with_random_weights(seed=8)
+        src = best_source(g)
+        assert np.array_equal(
+            SSWP(source=src).run_reference(g), reference_sswp_widths(g, src)
+        )
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=15)
+    def test_property_random_graphs(self, seed):
+        g = erdos_renyi_graph(40, 180, seed=seed).with_random_weights(seed=seed)
+        src = seed % g.n_vertices
+        assert np.array_equal(
+            SSWP(source=src).run_reference(g), reference_sswp_widths(g, src)
+        )
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=10)
+    def test_property_width_bounded_by_max_weight(self, seed):
+        g = erdos_renyi_graph(30, 120, seed=seed).with_random_weights(
+            low=1, high=7, seed=seed
+        )
+        src = 0
+        w = SSWP(source=src).run_reference(g)
+        reached = (w > 0) & (np.arange(g.n_vertices) != src)
+        if reached.any():
+            assert w[reached].max() < 7
+            assert w[reached].min() >= 1
+
+
+class TestSSWPOnEngines:
+    def test_runs_under_every_engine(self, small_social):
+        from conftest import TEST_SCALE, make_spec_for
+        from repro.core.ascetic import AsceticEngine
+        from repro.engines.partition_based import PartitionEngine
+        from repro.engines.subway import SubwayEngine
+        from repro.engines.uvm_engine import UVMEngine
+
+        g = small_social.with_random_weights(seed=4)
+        src = best_source(g)
+        ref = reference_sswp_widths(g, src)
+        spec = make_spec_for(g)
+        for cls in (PartitionEngine, UVMEngine, SubwayEngine, AsceticEngine):
+            res = cls(spec=spec, data_scale=TEST_SCALE).run(
+                g, make_program("SSWP", source=src)
+            )
+            assert np.array_equal(res.values, ref), cls.name

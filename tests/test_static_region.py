@@ -1,0 +1,223 @@
+"""Tests for the Static Region chunk table."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.static_region import StaticRegion
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_graph
+
+
+@pytest.fixture()
+def graph():
+    return rmat_graph(8, 2000, seed=21, directed=True)
+
+
+def brute_vertex_bitmap(region):
+    """Oracle: vertex static iff every byte of its edge range is resident."""
+    g = region.graph
+    bpe = g.bytes_per_edge
+    out = np.zeros(g.n_vertices, dtype=bool)
+    for v in range(g.n_vertices):
+        lo, hi = g.indptr[v] * bpe, g.indptr[v + 1] * bpe
+        if hi == lo:
+            out[v] = True
+            continue
+        chunks = range(lo // region.chunk_bytes, (hi - 1) // region.chunk_bytes + 1)
+        out[v] = all(region.resident[c] for c in chunks)
+    return out
+
+
+class TestFills:
+    def test_front_fill(self, graph):
+        r = StaticRegion(graph, 1000, chunk_bytes=16, fill="front")
+        assert r.resident[: r.capacity_chunks].all()
+        assert not r.resident[r.capacity_chunks :].any()
+
+    def test_rear_fill(self, graph):
+        r = StaticRegion(graph, 1000, chunk_bytes=16, fill="rear")
+        assert r.resident[-r.capacity_chunks :].all()
+
+    def test_random_fill_capacity(self, graph):
+        r = StaticRegion(graph, 1000, chunk_bytes=16, fill="random", seed=3)
+        assert r.resident_chunks <= r.capacity_chunks
+
+    def test_random_fill_deterministic(self, graph):
+        a = StaticRegion(graph, 1000, chunk_bytes=16, fill="random", seed=3)
+        b = StaticRegion(graph, 1000, chunk_bytes=16, fill="random", seed=3)
+        assert np.array_equal(a.resident, b.resident)
+
+    def test_random_fill_is_fragmented(self, graph):
+        r = StaticRegion(graph, 2000, chunk_bytes=8, fill="random", seed=4,
+                         fragment_chunks=16)
+        runs = np.diff(np.nonzero(np.diff(r.resident.astype(int)))[0])
+        # Contiguous runs, not single scattered chunks.
+        assert r.resident_chunks > 0
+
+    def test_lazy_fill_starts_empty(self, graph):
+        r = StaticRegion(graph, 1000, chunk_bytes=16, fill="lazy")
+        assert r.resident_chunks == 0
+        assert r.free_chunks == r.capacity_chunks
+
+    def test_unknown_fill(self, graph):
+        with pytest.raises(ValueError):
+            StaticRegion(graph, 1000, fill="magic")
+
+    def test_capacity_capped_at_dataset(self, graph):
+        r = StaticRegion(graph, 10**9, chunk_bytes=16, fill="front")
+        assert r.capacity_chunks == r.n_chunks
+        assert r.vertex_static_bitmap().all()
+
+    def test_zero_capacity(self, graph):
+        r = StaticRegion(graph, 0, chunk_bytes=16, fill="front")
+        assert r.resident_chunks == 0
+        # Only degree-0 vertices are "static".
+        vb = r.vertex_static_bitmap()
+        assert np.array_equal(vb, graph.out_degree() == 0)
+
+    def test_invalid_geometry(self, graph):
+        with pytest.raises(ValueError):
+            StaticRegion(graph, -1)
+        with pytest.raises(ValueError):
+            StaticRegion(graph, 10, chunk_bytes=0)
+
+
+class TestVertexBitmap:
+    @pytest.mark.parametrize("fill", ["front", "rear", "random"])
+    def test_matches_bruteforce(self, graph, fill):
+        r = StaticRegion(graph, 1500, chunk_bytes=8, fill=fill, seed=9)
+        assert np.array_equal(r.vertex_static_bitmap(), brute_vertex_bitmap(r))
+
+    def test_cache_invalidated_by_swap(self, graph):
+        r = StaticRegion(graph, 800, chunk_bytes=8, fill="front")
+        before = r.vertex_static_bitmap().copy()
+        resident = np.nonzero(r.resident)[0]
+        missing = np.nonzero(~r.resident)[0]
+        r.swap(resident[:4], missing[:4])
+        after = r.vertex_static_bitmap()
+        assert np.array_equal(after, brute_vertex_bitmap(r))
+        assert not np.array_equal(before, after)
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges([], [], 5)
+        r = StaticRegion(g, 100, chunk_bytes=8)
+        assert r.vertex_static_bitmap().all()
+
+
+class TestChunkTouchCounts:
+    def test_counts_match_bruteforce(self, graph):
+        r = StaticRegion(graph, 1000, chunk_bytes=8)
+        rng = np.random.default_rng(2)
+        active = rng.random(graph.n_vertices) < 0.3
+        counts = r.chunk_touch_counts(active)
+        brute = np.zeros(r.n_chunks, dtype=np.int64)
+        bpe = graph.bytes_per_edge
+        for v in np.nonzero(active)[0]:
+            lo, hi = graph.indptr[v] * bpe, graph.indptr[v + 1] * bpe
+            if hi > lo:
+                brute[lo // 8 : (hi - 1) // 8 + 1] += 1
+        assert np.array_equal(counts, brute)
+
+    def test_empty_active(self, graph):
+        r = StaticRegion(graph, 1000, chunk_bytes=8)
+        assert r.chunk_touch_counts(np.zeros(graph.n_vertices, bool)).sum() == 0
+
+
+class TestSwap:
+    def test_swap_moves_residency(self, graph):
+        r = StaticRegion(graph, 800, chunk_bytes=8, fill="front")
+        evict = np.nonzero(r.resident)[0][:3]
+        load = np.nonzero(~r.resident)[0][:3]
+        moved = r.swap(evict, load)
+        assert moved == 3 * 8
+        assert not r.resident[evict].any()
+        assert r.resident[load].all()
+
+    def test_swap_nonresident_eviction_rejected(self, graph):
+        r = StaticRegion(graph, 800, chunk_bytes=8, fill="front")
+        missing = np.nonzero(~r.resident)[0]
+        with pytest.raises(ValueError):
+            r.swap(missing[:1], missing[1:2])
+
+    def test_swap_resident_load_rejected(self, graph):
+        r = StaticRegion(graph, 800, chunk_bytes=8, fill="front")
+        resident = np.nonzero(r.resident)[0]
+        with pytest.raises(ValueError):
+            r.swap(resident[:1], resident[1:2])
+
+    def test_swap_overflow_rejected(self, graph):
+        r = StaticRegion(graph, 800, chunk_bytes=8, fill="front")
+        missing = np.nonzero(~r.resident)[0]
+        with pytest.raises(ValueError):
+            r.swap(np.empty(0, dtype=np.int64), missing[:1])
+
+
+class TestShrink:
+    def test_shrink_releases_chunks(self, graph):
+        r = StaticRegion(graph, 800, chunk_bytes=8, fill="front")
+        released = r.shrink_to(400)
+        assert released == r.resident_chunks  # halved: 50 released of 100
+        assert r.capacity_chunks == 50
+        assert r.resident_chunks == 50
+
+    def test_shrink_to_zero(self, graph):
+        r = StaticRegion(graph, 800, chunk_bytes=8, fill="front")
+        r.shrink_to(0)
+        assert r.resident_chunks == 0
+        vb = r.vertex_static_bitmap()
+        assert np.array_equal(vb, graph.out_degree() == 0)
+
+    def test_grow_is_noop_for_residency(self, graph):
+        r = StaticRegion(graph, 400, chunk_bytes=8, fill="front")
+        before = r.resident.copy()
+        assert r.shrink_to(800) == 0
+        assert np.array_equal(r.resident, before)
+        assert r.capacity_chunks == 100
+
+
+class TestPromote:
+    def test_promote_marks_vertex_spans(self, graph):
+        r = StaticRegion(graph, 800, chunk_bytes=8, fill="lazy")
+        mask = np.zeros(graph.n_vertices, dtype=bool)
+        mask[:20] = True
+        promoted = r.promote_vertices(mask)
+        assert promoted > 0
+        assert r.resident_chunks == promoted
+        # Promoted vertices with edges should now be static.
+        vb = r.vertex_static_bitmap()
+        deg = graph.out_degree()
+        covered = vb[:20] | (deg[:20] == 0)
+        assert covered.any()
+
+    def test_promote_respects_capacity(self, graph):
+        r = StaticRegion(graph, 160, chunk_bytes=8, fill="lazy")  # 20 chunks
+        mask = np.ones(graph.n_vertices, dtype=bool)
+        r.promote_vertices(mask)
+        assert r.resident_chunks <= r.capacity_chunks
+
+    def test_promote_budget_parameter(self, graph):
+        r = StaticRegion(graph, 8000, chunk_bytes=8, fill="lazy")
+        mask = np.ones(graph.n_vertices, dtype=bool)
+        r.promote_vertices(mask, max_new_chunks=5)
+        assert r.resident_chunks <= 5
+
+    def test_promote_empty_mask(self, graph):
+        r = StaticRegion(graph, 800, chunk_bytes=8, fill="lazy")
+        assert r.promote_vertices(np.zeros(graph.n_vertices, bool)) == 0
+
+    def test_promote_full_region_noop(self, graph):
+        r = StaticRegion(graph, 800, chunk_bytes=8, fill="front")
+        assert r.free_chunks == 0
+        assert r.promote_vertices(np.ones(graph.n_vertices, bool)) == 0
+
+    @given(st.integers(0, 2**20 - 1), st.integers(1, 40))
+    def test_property_promotion_bounded(self, bits, budget):
+        g = rmat_graph(6, 400, seed=31, directed=True)
+        r = StaticRegion(g, 64 * 8, chunk_bytes=8, fill="lazy")
+        mask = np.array([(bits >> (i % 20)) & 1 for i in range(g.n_vertices)], dtype=bool)
+        promoted = r.promote_vertices(mask, max_new_chunks=budget)
+        assert promoted <= min(budget, r.capacity_chunks)
+        assert r.resident_chunks <= r.capacity_chunks
+        assert np.array_equal(r.vertex_static_bitmap(), brute_vertex_bitmap(r))

@@ -1,0 +1,192 @@
+"""Tests for the UVM demand-paging model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpusim.uvm import UVMMemory
+
+
+def make(managed_pages=100, capacity_pages=10, page=64):
+    return UVMMemory(managed_pages * page, capacity_pages * page, page_size=page)
+
+
+class TestBasics:
+    def test_geometry(self):
+        u = make(100, 10, page=64)
+        assert u.n_pages == 100
+        assert u.capacity_pages == 10
+
+    def test_partial_tail_page(self):
+        u = UVMMemory(100, 1000, page_size=64)
+        assert u.n_pages == 2  # 100 bytes → 2 pages of 64
+
+    def test_empty_managed(self):
+        u = UVMMemory(0, 1000)
+        assert u.n_pages == 0
+        out = u.touch(np.array([], dtype=np.int64))
+        assert out.n_faults == 0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            UVMMemory(-1, 10)
+        with pytest.raises(ValueError):
+            UVMMemory(10, 10, page_size=0)
+
+    def test_pages_of_byte_range(self):
+        u = make(page=64)
+        assert list(u.pages_of_byte_range(0, 64)) == [0]
+        assert list(u.pages_of_byte_range(0, 65)) == [0, 1]
+        assert list(u.pages_of_byte_range(63, 129)) == [0, 1, 2]
+        assert u.pages_of_byte_range(10, 10).size == 0
+
+    def test_out_of_range_page_rejected(self):
+        u = make(10, 5)
+        with pytest.raises(IndexError):
+            u.touch(np.array([10]))
+
+
+class TestFaulting:
+    def test_first_touch_faults(self):
+        u = make()
+        out = u.touch(np.arange(5))
+        assert out.n_faults == 5
+        assert out.bytes_migrated == 5 * u.page_size
+        assert u.resident_pages == 5
+
+    def test_second_touch_hits(self):
+        u = make()
+        u.touch(np.arange(5))
+        out = u.touch(np.arange(5))
+        assert out.n_faults == 0
+        assert out.n_evicted == 0
+
+    def test_duplicates_coalesce(self):
+        u = make()
+        out = u.touch(np.array([3, 3, 3, 4]))
+        assert out.n_touched == 2
+        assert out.n_faults == 2
+
+    def test_lru_evicts_oldest(self):
+        u = make(100, 3)
+        u.touch(np.array([0]))
+        u.touch(np.array([1]))
+        u.touch(np.array([2]))
+        u.touch(np.array([0]))  # refresh page 0
+        out = u.touch(np.array([5]))  # must evict page 1 (oldest)
+        assert out.n_evicted == 1
+        assert u.is_resident(np.array([0]))[0]
+        assert not u.is_resident(np.array([1]))[0]
+
+    def test_capacity_never_exceeded(self):
+        u = make(100, 4)
+        for i in range(0, 100, 7):
+            u.touch(np.arange(i, min(i + 3, 100)))
+            assert u.resident_pages <= u.capacity_pages
+
+
+class TestCyclicScanThrash:
+    def test_scan_larger_than_memory_always_faults(self):
+        """The Fig. 1 pathology: cyclic scan + LRU = 100 % miss."""
+        u = make(20, 10)
+        for _ in range(3):
+            out = u.touch(np.arange(20))
+            assert out.n_faults == 20
+
+    def test_scan_fitting_in_memory_hits(self):
+        u = make(20, 10)
+        u.touch(np.arange(8))
+        out = u.touch(np.arange(8))
+        assert out.n_faults == 0
+
+    def test_tail_survives_scan(self):
+        u = make(20, 10)
+        u.touch(np.arange(20))
+        assert u.is_resident(np.arange(10, 20)).all()
+        assert not u.is_resident(np.arange(0, 10)).any()
+
+
+class TestPinning:
+    def test_pin_prefetches(self):
+        u = make(100, 10)
+        moved = u.advise_pin(np.arange(4))
+        assert moved == 4 * u.page_size
+        assert u.is_resident(np.arange(4)).all()
+
+    def test_pin_idempotent(self):
+        u = make(100, 10)
+        u.advise_pin(np.arange(4))
+        assert u.advise_pin(np.arange(4)) == 0
+
+    def test_pinned_never_evicted(self):
+        u = make(100, 5)
+        u.advise_pin(np.arange(3))
+        for i in range(3, 60):
+            u.touch(np.array([i]))
+        assert u.is_resident(np.arange(3)).all()
+
+    def test_pin_beyond_capacity_rejected(self):
+        u = make(100, 5)
+        with pytest.raises(ValueError):
+            u.advise_pin(np.arange(6))
+
+    def test_pinned_pages_hit_during_thrash(self):
+        u = make(30, 10)
+        u.advise_pin(np.arange(4))
+        out = u.touch(np.arange(30))
+        # Only the 26 unpinned pages fault; the pinned prefix hits.
+        assert out.n_faults == 26
+
+    def test_pin_out_of_range(self):
+        u = make(10, 5)
+        with pytest.raises(IndexError):
+            u.advise_pin(np.array([99]))
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(0, 49), min_size=1, max_size=30),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_property_residency_invariants(touch_batches):
+    """Any touch sequence keeps residency within capacity and consistent."""
+    u = UVMMemory(50 * 64, 12 * 64, page_size=64)
+    for batch in touch_batches:
+        out = u.touch(np.array(batch, dtype=np.int64))
+        assert out.n_faults >= 0 and out.n_evicted >= 0
+        assert u.resident_pages <= u.capacity_pages
+        assert u.resident_pages == int(np.count_nonzero(u._resident))
+        assert out.bytes_migrated == out.n_faults * u.page_size
+
+
+class TestPrefetch:
+    def test_prefetch_migrates_missing(self):
+        u = make(100, 20)
+        moved = u.prefetch(np.arange(5))
+        assert moved == 5 * u.page_size
+        assert u.is_resident(np.arange(5)).all()
+
+    def test_prefetch_skips_resident(self):
+        u = make(100, 20)
+        u.touch(np.arange(5))
+        assert u.prefetch(np.arange(5)) == 0
+
+    def test_prefetch_backs_off_under_pressure(self):
+        u = make(100, 5)
+        u.advise_pin(np.arange(4))
+        moved = u.prefetch(np.arange(10, 20))
+        # Only one unpinned slot: at most one page prefetched, never a raise.
+        assert moved <= u.page_size
+        assert u.resident_pages <= u.capacity_pages
+
+    def test_prefetch_out_of_range(self):
+        u = make(10, 5)
+        with pytest.raises(IndexError):
+            u.prefetch(np.array([99]))
+
+    def test_prefetch_empty(self):
+        u = make(10, 5)
+        assert u.prefetch(np.array([], dtype=np.int64)) == 0

@@ -1,0 +1,86 @@
+"""Tests for the reference oracles themselves (trust, but verify the verifier)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.validate import (
+    assert_allclose_ranks,
+    reference_bfs_levels,
+    reference_cc_labels,
+    reference_pagerank,
+    reference_sssp_distances,
+    reference_sswp_widths,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import cycle_graph, path_graph, star_graph
+
+
+class TestBFSOracle:
+    def test_path(self):
+        levels = reference_bfs_levels(path_graph(4), 0)
+        assert list(levels) == [0, 1, 2, 3]
+
+    def test_unreachable_marked(self):
+        levels = reference_bfs_levels(path_graph(4), 2)
+        assert levels[0] == -1 and levels[3] == 1
+
+
+class TestSSSPOracle:
+    def test_exact_weights(self):
+        g = path_graph(3).with_weights([5, 7])
+        d = reference_sssp_distances(g, 0)
+        assert list(d) == [0, 5, 12]
+
+    def test_unreachable_inf(self):
+        from repro.algorithms.sssp import INF_DIST
+
+        g = path_graph(3).with_weights([1, 1])
+        assert reference_sssp_distances(g, 1)[0] == INF_DIST
+
+
+class TestCCOracle:
+    def test_undirected_min_labels(self):
+        g = CSRGraph.from_edges([1, 3], [2, 4], 5, directed=False)
+        assert list(reference_cc_labels(g)) == [0, 1, 1, 3, 3]
+
+    def test_directed_fixpoint_is_min_reaching(self):
+        # 4 → 1 → 0 and isolated 2, 3.
+        g = CSRGraph.from_edges([4, 1], [1, 0], 5)
+        labels = reference_cc_labels(g)
+        # 0 is reached by 1 and 4 → min reaching label 0; 1 reached by 4
+        # and itself → 1; sources keep their own ids.
+        assert list(labels) == [0, 1, 2, 3, 4]
+
+
+class TestPageRankOracle:
+    def test_cycle_uniform(self):
+        r = reference_pagerank(cycle_graph(6))
+        assert np.allclose(r, 1.0 / 6)
+
+    def test_star_center_receives_nothing(self):
+        # Star pushes outward only: center rank = teleport share.
+        g = star_graph(5)
+        r = reference_pagerank(g, damping=0.85)
+        assert r[0] == pytest.approx(0.15 / 5)
+        assert np.all(r[1:] > r[0])
+
+    def test_assert_allclose_ranks_raises_on_mismatch(self):
+        with pytest.raises(AssertionError):
+            assert_allclose_ranks(np.array([1.0]), np.array([2.0]), rtol=1e-3)
+
+    def test_assert_allclose_ranks_passes_within_tol(self):
+        assert_allclose_ranks(np.array([1.0]), np.array([1.0001]), rtol=1e-3)
+
+
+class TestSSWPOracle:
+    def test_bottleneck_on_path(self):
+        from repro.algorithms.sswp import SOURCE_WIDTH
+
+        g = path_graph(4).with_weights([9, 3, 7])
+        w = reference_sswp_widths(g, 0)
+        assert w[0] == SOURCE_WIDTH
+        assert list(w[1:]) == [9, 3, 3]
+
+    def test_unreached_zero(self):
+        g = path_graph(3).with_weights([1, 1])
+        assert reference_sswp_widths(g, 2)[0] == 0
