@@ -13,7 +13,7 @@ import pytest
 
 from repro.analysis.report import format_table
 from repro.core.ascetic import AsceticConfig
-from repro.harness.experiments import BENCH_SCALE, make_workload, run_cell
+from repro.harness.experiments import BENCH_SCALE, make_workload, run_workload
 
 from conftest import report
 
@@ -23,7 +23,7 @@ def test_ablation_fill_policies(benchmark):
 
     def run():
         return {
-            fill: run_cell(w, "Ascetic", config=AsceticConfig(fill=fill))
+            fill: run_workload(w, "Ascetic", config=AsceticConfig(fill=fill))
             for fill in ("front", "rear", "random", "lazy")
         }
 
@@ -51,8 +51,8 @@ def test_ablation_replacement(benchmark):
     w = make_workload("FK", "PR", scale=BENCH_SCALE)
 
     def run():
-        on = run_cell(w, "Ascetic", config=AsceticConfig(fill="front", replacement=True))
-        off = run_cell(w, "Ascetic", config=AsceticConfig(fill="front", replacement=False))
+        on = run_workload(w, "Ascetic", config=AsceticConfig(fill="front", replacement=True))
+        off = run_workload(w, "Ascetic", config=AsceticConfig(fill="front", replacement=False))
         return on, off
 
     on, off = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -83,8 +83,8 @@ def test_ablation_adaptive_repartition(benchmark):
     bad = AsceticConfig(fill="rear", forced_ratio=0.97)
 
     def run():
-        on = run_cell(w, "Ascetic", config=bad.with_(adaptive=True))
-        off = run_cell(w, "Ascetic", config=bad.with_(adaptive=False))
+        on = run_workload(w, "Ascetic", config=bad.with_(adaptive=True))
+        off = run_workload(w, "Ascetic", config=bad.with_(adaptive=False))
         return on, off
 
     on, off = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -112,7 +112,7 @@ def test_ablation_adaptive_repartition(benchmark):
 def test_ablation_k_sensitivity(benchmark, k):
     w = make_workload("FS", "CC", scale=BENCH_SCALE)
     res = benchmark.pedantic(
-        lambda: run_cell(w, "Ascetic", config=AsceticConfig(k=k)),
+        lambda: run_workload(w, "Ascetic", config=AsceticConfig(k=k)),
         rounds=1,
         iterations=1,
     )

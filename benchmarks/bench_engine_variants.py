@@ -13,7 +13,7 @@ Two questions the paper leaves implicit, answered quantitatively:
 """
 
 from repro.analysis.report import format_table
-from repro.harness.experiments import BENCH_SCALE, make_workload, run_cell
+from repro.harness.experiments import BENCH_SCALE, make_workload, run_workload
 
 from conftest import report
 
@@ -23,11 +23,11 @@ def test_engine_variants(benchmark):
 
     def run():
         return {
-            "PT (single buffer)": run_cell(w, "PT"),
-            "PT (double buffer)": run_cell(w, "PT", double_buffer=True),
-            "Subway (sequential)": run_cell(w, "Subway"),
-            "Subway (pipelined)": run_cell(w, "Subway", pipelined=True),
-            "Ascetic": run_cell(w, "Ascetic"),
+            "PT (single buffer)": run_workload(w, "PT"),
+            "PT (double buffer)": run_workload(w, "PT", double_buffer=True),
+            "Subway (sequential)": run_workload(w, "Subway"),
+            "Subway (pipelined)": run_workload(w, "Subway", pipelined=True),
+            "Ascetic": run_workload(w, "Ascetic"),
         }
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -74,13 +74,13 @@ def test_motivation_fig1_partition_reuse(benchmark):
     """§1's measured motivation: on PR/FK, pinning one partition in the
     PT scheme cut CPU→GPU transfer from 1306 GB to 966 GB (−26 %) — the
     seed of the Static Region idea (Fig. 1's "Partition + Reuse" row)."""
-    from repro.harness.experiments import BENCH_SCALE, make_workload, run_cell
+    from repro.harness.experiments import BENCH_SCALE, make_workload, run_workload
 
     w = make_workload("FK", "PR", scale=BENCH_SCALE)
 
     def run():
-        base = run_cell(w, "PT")
-        pinned = run_cell(w, "PT", pinned_partitions=1)
+        base = run_workload(w, "PT")
+        pinned = run_workload(w, "PT", pinned_partitions=1)
         return base, pinned
 
     base, pinned = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -17,8 +17,9 @@ from typing import Dict, List, Tuple
 
 import pytest
 
+from repro.engines import registry
 from repro.engines.base import RunResult
-from repro.harness.experiments import BENCH_SCALE, make_workload, run_all_engines
+from repro.harness.experiments import BENCH_SCALE
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -55,20 +56,37 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
 def grid() -> GridType:
     """The full Tables-4/5 grid: every (dataset, algorithm) × every engine.
 
-    Also dumps the raw telemetry to ``results/grid.json`` for downstream
-    analysis.
+    Delegates to :func:`repro.runner.run_grid`: cells fan out across
+    worker processes (``REPRO_BENCH_JOBS``, default CPU count capped at
+    8) and persist in ``results/cell-cache`` so a re-run replays
+    unchanged cells (disable with ``REPRO_BENCH_NO_CACHE=1``).  Results
+    are bit-identical to the old serial in-process loop.  Also dumps the
+    raw telemetry to ``results/grid.json`` for downstream analysis.
     """
     from repro.harness.persistence import save_results
+    from repro.runner import grid_specs, run_grid
 
-    out: GridType = {}
-    runs = []
-    for abbr in DATASET_ORDER:
-        for algo in ALGO_ORDER:
-            w = make_workload(abbr, algo, scale=BENCH_SCALE)
-            out[(abbr, algo)] = run_all_engines(w)
-            runs.extend(out[(abbr, algo)].values())
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or min(os.cpu_count() or 1, 8)
+    cache = (
+        None
+        if os.environ.get("REPRO_BENCH_NO_CACHE")
+        else os.environ.get(
+            "REPRO_BENCH_CACHE", os.path.join(RESULTS_DIR, "cell-cache")
+        )
+    )
+    specs = grid_specs(
+        DATASET_ORDER, ALGO_ORDER, registry.available(), scale=BENCH_SCALE
+    )
+    report = run_grid(specs, jobs=jobs, cache=cache)
+    failed = [c for c in report.cells if not c.ok]
+    if failed:
+        raise RuntimeError(
+            "grid cells failed: "
+            + "; ".join(f"{c.spec.label()}: {c.error}" for c in failed)
+        )
+    out: GridType = report.result_map()
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    save_results(runs, os.path.join(RESULTS_DIR, "grid.json"))
+    save_results(report.results(), os.path.join(RESULTS_DIR, "grid.json"))
     return out
 
 

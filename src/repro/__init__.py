@@ -29,30 +29,51 @@ Layout
 ``repro.harness``
     Experiment configuration, sweeps and table formatting used by
     ``benchmarks/``.
+``repro.runner``
+    Batch execution: :class:`~repro.runner.spec.RunSpec` cells fanned out
+    across worker processes with a persistent result cache and per-cell
+    fault isolation (the CLI's ``repro grid``).
+
+Engines are looked up by name through :mod:`repro.engines.registry`;
+third-party engines registered there show up in the harness, the CLI and
+the grid runner automatically.
 """
 
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.gpusim.device import GPUSpec, SimulatedGPU
-from repro.engines.base import RunResult
+from repro.engines.base import Engine, IterationRecord, RunResult
 from repro.engines.partition_based import PartitionEngine
 from repro.engines.uvm_engine import UVMEngine
 from repro.engines.subway import SubwayEngine
+from repro.engines import registry
 from repro.core.ascetic import AsceticConfig, AsceticEngine
+from repro.runner import GridReport, ResultCache, RunSpec, run_grid
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # data substrate
     "CSRGraph",
     "load_dataset",
     "DATASETS",
+    # simulated platform
     "GPUSpec",
     "SimulatedGPU",
+    # engine surface
+    "Engine",
+    "IterationRecord",
     "RunResult",
     "PartitionEngine",
     "UVMEngine",
     "SubwayEngine",
     "AsceticEngine",
     "AsceticConfig",
+    "registry",
+    # batch execution
+    "RunSpec",
+    "ResultCache",
+    "GridReport",
+    "run_grid",
     "__version__",
 ]

@@ -5,11 +5,16 @@ Exposes the experiment harness without writing Python::
     repro datasets                                  # Table-3 inventory
     repro run --dataset FK --algo BFS --engine Ascetic
     repro compare --dataset UK --algo PR            # all four engines
+    repro compare --dataset UK --algo PR --jobs 4   # ...in parallel
     repro sweep-ratio --dataset FK --algo CC        # Fig.-10 style sweep
+    repro grid --jobs 4                             # full 4x4x4 grid, cached
 
 Every command prints the same fixed-width reports the benchmarks produce.
-Installed as the ``repro`` console script; also runnable as
-``python -m repro.cli``.
+``grid`` (and ``compare``/``sweep-ratio`` with ``--jobs``) go through
+:mod:`repro.runner`: independent cells fan out across worker processes and
+finished cells persist in an on-disk cache (default ``.repro-cache/``), so
+a re-run replays unchanged cells instead of recomputing them.  Installed as
+the ``repro`` console script; also runnable as ``python -m repro.cli``.
 """
 
 from __future__ import annotations
@@ -20,19 +25,27 @@ from typing import List, Optional
 
 from repro.analysis.report import format_table, human_bytes, sparkline
 from repro.core.ascetic import AsceticConfig
+from repro.engines import registry
 from repro.graph.datasets import DATASETS
 from repro.harness.experiments import (
     BENCH_SCALE,
-    ENGINES,
     make_workload,
     run_all_engines,
-    run_cell,
+    run_workload,
 )
 from repro.harness.sweeps import sweep_static_ratio
+from repro.runner import RunSpec, grid_specs, run_grid
 
 __all__ = ["main", "build_parser"]
 
 ALGOS = ("BFS", "SSSP", "CC", "PR", "SSWP", "PR-PULL", "KCORE")
+
+#: Default on-disk cell cache for ``repro grid`` (relative to the CWD).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: The paper's Tables-4/5 grid axes.
+GRID_DATASETS = ("GS", "FK", "FS", "UK")
+GRID_ALGOS = ("BFS", "SSSP", "CC", "PR")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,6 +59,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="print the Table-3 dataset inventory")
 
+    engine_choices = sorted(registry.available())
+
     def common(sp):
         sp.add_argument("--dataset", required=True, choices=sorted(DATASETS),
                         help="Table-3 dataset abbreviation")
@@ -56,9 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--memory-bytes", type=int, default=None,
                         help="override the (scaled) device capacity")
 
+    def jobs_arg(sp):
+        sp.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = in-process serial)")
+
     run_p = sub.add_parser("run", help="run one engine on one workload")
     common(run_p)
-    run_p.add_argument("--engine", default="Ascetic", choices=sorted(ENGINES))
+    run_p.add_argument("--engine", default="Ascetic", choices=engine_choices)
     run_p.add_argument("--fill", default=None,
                        choices=("lazy", "front", "rear", "random"),
                        help="Ascetic static-region fill policy")
@@ -69,11 +88,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmp_p = sub.add_parser("compare", help="run all four engines on one workload")
     common(cmp_p)
+    jobs_arg(cmp_p)
 
     sw_p = sub.add_parser("sweep-ratio", help="Fig.-10-style static-ratio sweep")
     common(sw_p)
+    jobs_arg(sw_p)
     sw_p.add_argument("--ratios", type=float, nargs="+",
                       default=[0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 1.0])
+
+    g_p = sub.add_parser(
+        "grid",
+        help="run a datasets x algorithms x engines grid with caching",
+    )
+    jobs_arg(g_p)
+    g_p.add_argument("--datasets", nargs="+", default=list(GRID_DATASETS),
+                     choices=sorted(DATASETS), metavar="ABBR",
+                     help=f"datasets (default {' '.join(GRID_DATASETS)})")
+    g_p.add_argument("--algos", nargs="+", default=list(GRID_ALGOS),
+                     choices=ALGOS, metavar="ALGO",
+                     help=f"algorithms (default {' '.join(GRID_ALGOS)})")
+    g_p.add_argument("--engines", nargs="+", default=None,
+                     choices=engine_choices, metavar="ENGINE",
+                     help="engines (default: every registered engine)")
+    g_p.add_argument("--scale", type=float, default=BENCH_SCALE,
+                     help=f"dataset down-scale (default {BENCH_SCALE:g})")
+    g_p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                     help=f"result cache directory (default {DEFAULT_CACHE_DIR})")
+    g_p.add_argument("--no-cache", action="store_true",
+                     help="recompute every cell, touch no cache")
+    g_p.add_argument("--timeout", type=float, default=None,
+                     help="per-cell wall-clock budget in seconds")
+    g_p.add_argument("--retries", type=int, default=1,
+                     help="extra attempts for a failing cell (default 1)")
     return p
 
 
@@ -105,7 +151,7 @@ def _cmd_run(args) -> int:
         if args.no_overlap:
             cfg = cfg.with_(overlap=False)
         kwargs["config"] = cfg
-    res = run_cell(w, args.engine, **kwargs)
+    res = run_workload(w, args.engine, **kwargs)
     print(res.summary())
     rows = [[k, f"{v:.4g}"] for k, v in sorted(res.extra.items())]
     rows += [[k, f"{v:.4g}"] for k, v in sorted(res.metrics.as_dict().items())]
@@ -114,9 +160,25 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    w = make_workload(args.dataset, args.algo, scale=args.scale,
-                      memory_bytes=args.memory_bytes)
-    results = run_all_engines(w)
+    if args.jobs > 1:
+        specs = [
+            RunSpec(dataset=args.dataset, algorithm=args.algo, engine=name,
+                    scale=args.scale, memory_bytes=args.memory_bytes)
+            for name in registry.available()
+        ]
+        report = run_grid(specs, jobs=args.jobs)
+        for cell in report.cells:
+            if not cell.ok:
+                print(f"warning: {cell.spec.label()} failed: {cell.error}",
+                      file=sys.stderr)
+        results = {c.spec.engine: c.result for c in report.cells if c.ok}
+    else:
+        w = make_workload(args.dataset, args.algo, scale=args.scale,
+                          memory_bytes=args.memory_bytes)
+        results = run_all_engines(w)
+    if not results:
+        print("all engines failed", file=sys.stderr)
+        return 1
     best = min(r.elapsed_seconds for r in results.values())
     rows = [
         [name, f"{r.elapsed_seconds:.2f}s", f"{r.elapsed_seconds / best:.2f}x",
@@ -134,7 +196,7 @@ def _cmd_compare(args) -> int:
 def _cmd_sweep_ratio(args) -> int:
     w = make_workload(args.dataset, args.algo, scale=args.scale,
                       memory_bytes=args.memory_bytes)
-    points, subway_s, eq2 = sweep_static_ratio(w, args.ratios)
+    points, subway_s, eq2 = sweep_static_ratio(w, args.ratios, jobs=args.jobs)
     rows = [
         [f"{p.ratio:.2f}", f"{p.total_seconds:.2f}s", f"{p.t_sr:.2f}",
          f"{p.t_filling:.2f}", f"{p.t_transfer:.2f}", f"{p.t_ondemand:.2f}"]
@@ -150,6 +212,35 @@ def _cmd_sweep_ratio(args) -> int:
     return 0
 
 
+def _cmd_grid(args) -> int:
+    engines = tuple(args.engines) if args.engines else registry.available()
+    specs = grid_specs(args.datasets, args.algos, engines, scale=args.scale)
+    cache = None if args.no_cache else args.cache_dir
+    report = run_grid(specs, jobs=args.jobs, cache=cache,
+                      timeout=args.timeout, retries=args.retries)
+    rows = []
+    for cell in report.cells:
+        r = cell.result
+        rows.append([
+            cell.spec.dataset, cell.spec.algorithm, cell.spec.engine,
+            cell.status,
+            f"{r.elapsed_seconds:.2f}s" if r else "-",
+            human_bytes(r.metrics.bytes_h2d) if r else "-",
+            r.iterations if r else "-",
+        ])
+    print(format_table(
+        ["dataset", "algo", "engine", "status", "time", "H2D", "iters"], rows,
+        title=f"Grid — {len(args.datasets)} dataset(s) x {len(args.algos)} "
+              f"algorithm(s) x {len(engines)} engine(s), scale {args.scale:g}",
+    ))
+    for cell in report.cells:
+        if not cell.ok:
+            print(f"failed: {cell.spec.label()}: {cell.error}", file=sys.stderr)
+    print()
+    print(report.summary())
+    return 0 if report.n_failed == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: parse ``argv`` (default ``sys.argv[1:]``) and dispatch."""
     args = build_parser().parse_args(argv)
@@ -161,6 +252,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "sweep-ratio":
         return _cmd_sweep_ratio(args)
+    if args.command == "grid":
+        return _cmd_grid(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

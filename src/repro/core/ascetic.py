@@ -10,7 +10,7 @@ Manager's overlapped schedule.  All the paper's ablation switches are on
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import List, Optional
 
 from repro.algorithms.base import ProgramState, VertexProgram
@@ -88,6 +88,23 @@ class AsceticConfig:
     def with_(self, **kwargs) -> "AsceticConfig":
         """A copy with some fields replaced (sweep convenience)."""
         return replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """Plain JSON-able field mapping (cache keys, run specs)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AsceticConfig":
+        """Rebuild a config written by :meth:`to_dict`.
+
+        Unknown keys raise so a stale cache entry cannot silently drop a
+        tunable that this version no longer has.
+        """
+        known = {f.name for f in fields(cls)}
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown AsceticConfig fields: {sorted(extra)}")
+        return cls(**data)
 
     def policy_for(self, program: VertexProgram) -> str:
         if self.replacement_policy != "auto":

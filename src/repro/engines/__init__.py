@@ -11,16 +11,23 @@ The three baselines the paper compares against (§4.1):
   fine-grained per-iteration subgraph gathering, with the sequential
   GenDataMap → Gather → Transfer → Compute pipeline of Fig. 5.
 
-The paper's own engine, Ascetic, lives in :mod:`repro.core`.  All engines
-run the same :class:`~repro.algorithms.base.VertexProgram` and produce
-bit-identical vertex values; they differ only in how edge data reaches the
-simulated GPU — which is the entire subject of the paper.
+The paper's own engine, Ascetic, is implemented in :mod:`repro.core` and
+re-exported here (with its config) so this package is the one-stop engine
+surface.  All engines run the same
+:class:`~repro.algorithms.base.VertexProgram` and produce bit-identical
+vertex values; they differ only in how edge data reaches the simulated GPU —
+which is the entire subject of the paper.
+
+Engine lookup by name goes through :mod:`repro.engines.registry`; the
+built-in four (``PT``, ``UVM``, ``Subway``, ``Ascetic``) are pre-registered.
 """
 
 from repro.engines.base import Engine, IterationRecord, RunResult
 from repro.engines.partition_based import PartitionEngine
 from repro.engines.uvm_engine import UVMEngine
 from repro.engines.subway import SubwayEngine
+from repro.core.ascetic import AsceticConfig, AsceticEngine
+from repro.engines import registry
 
 __all__ = [
     "Engine",
@@ -29,4 +36,7 @@ __all__ = [
     "PartitionEngine",
     "UVMEngine",
     "SubwayEngine",
+    "AsceticEngine",
+    "AsceticConfig",
+    "registry",
 ]

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram
+from repro.algorithms.frontier import active_edge_count
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import GPUSpec, SimulatedGPU
 from repro.gpusim.metrics import Metrics
@@ -168,21 +169,25 @@ class Engine(abc.ABC):
 
         records: List[IterationRecord] = []
         cap = self.max_iterations if self.max_iterations is not None else program.max_iterations
+        cap = max(cap, 0)
         while state.active.any() and state.iteration < cap and not program.done(state):
             if self.iteration_hook is not None:
                 self.iteration_hook(self, gpu, graph, state)
             t0 = gpu.clock.now
             h2d0 = gpu.metrics.bytes_h2d
             n_active = state.n_active
-            from repro.algorithms.frontier import active_edge_count
-
             n_edges = active_edge_count(graph, state.active)
+            # The record is labelled with the superstep it *describes* —
+            # the pre-step index — so a program whose ``step`` does not
+            # bump ``state.iteration`` cannot produce an off-by-one (or,
+            # on a zero-iteration run, a phantom ``-1``) record.
+            iter_index = state.iteration
             self._iteration(gpu, graph, program, state)
             program.step(graph, state)
             gpu.sync()
             records.append(
                 IterationRecord(
-                    iteration=state.iteration - 1,
+                    iteration=iter_index,
                     n_active_vertices=n_active,
                     n_active_edges=n_edges,
                     bytes_h2d=gpu.metrics.bytes_h2d - h2d0,

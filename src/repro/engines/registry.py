@@ -1,0 +1,94 @@
+"""Engine registry — the single source of truth for engine names.
+
+Every place that used to hard-code the four engine names (the harness's
+``ENGINES`` dict, the CLI's ``--engine`` choices, the grid runner) now
+derives them from this registry.  Third-party engines plug in with one
+call::
+
+    from repro.engines import registry
+
+    registry.register("MyEngine", MyEngineClass)
+
+A *factory* is any callable returning an :class:`~repro.engines.base.Engine`
+when called with the engine's keyword options (``spec=``, ``data_scale=``,
+plus engine-specific extras such as Ascetic's ``config=``).  Plain engine
+classes qualify.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.engines.base import Engine
+
+__all__ = ["register", "unregister", "create", "get", "available", "is_registered"]
+
+#: Registration-ordered name → factory map (insertion order is the paper's
+#: presentation order: PT, UVM, Subway, Ascetic).
+_FACTORIES: Dict[str, Callable[..., Engine]] = {}
+
+
+def register(name: str, factory: Callable[..., Engine], *, replace: bool = False) -> None:
+    """Register ``factory`` under ``name``.
+
+    Re-registering an existing name raises unless ``replace=True`` —
+    silently shadowing a built-in engine is almost always a bug.
+    """
+    if not name:
+        raise ValueError("engine name must be non-empty")
+    if not callable(factory):
+        raise TypeError(f"engine factory for {name!r} must be callable")
+    if name in _FACTORIES and not replace:
+        raise ValueError(
+            f"engine {name!r} is already registered (pass replace=True to override)"
+        )
+    _FACTORIES[name] = factory
+
+
+def unregister(name: str) -> None:
+    """Remove ``name`` from the registry (raises ``KeyError`` if absent)."""
+    del _FACTORIES[name]
+
+
+def get(name: str) -> Callable[..., Engine]:
+    """The factory registered under ``name``."""
+    try:
+        return _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(available()) or "<none>"
+        raise KeyError(f"unknown engine {name!r}; registered engines: {known}") from None
+
+
+def create(name: str, **opts) -> Engine:
+    """Instantiate the engine registered under ``name`` with ``opts``."""
+    return get(name)(**opts)
+
+
+def available() -> Tuple[str, ...]:
+    """Registered engine names, in registration order."""
+    return tuple(_FACTORIES)
+
+
+def is_registered(name: str) -> bool:
+    """Whether ``name`` resolves to a factory."""
+    return name in _FACTORIES
+
+
+def _register_builtins() -> None:
+    """Install the paper's four engines (idempotent)."""
+    from repro.core.ascetic import AsceticEngine
+    from repro.engines.partition_based import PartitionEngine
+    from repro.engines.subway import SubwayEngine
+    from repro.engines.uvm_engine import UVMEngine
+
+    for name, cls in (
+        ("PT", PartitionEngine),
+        ("UVM", UVMEngine),
+        ("Subway", SubwayEngine),
+        ("Ascetic", AsceticEngine),
+    ):
+        if name not in _FACTORIES:
+            register(name, cls)
+
+
+_register_builtins()

@@ -15,21 +15,23 @@ Tables 4/5.  The harness pins the parameters the paper pins:
 
 from __future__ import annotations
 
+import warnings
+from collections.abc import Mapping
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict
+from typing import TYPE_CHECKING, Callable, Dict, Union
 
 from repro.algorithms import make_program
 from repro.algorithms.base import VertexProgram
-from repro.core.ascetic import AsceticEngine
+from repro.engines import registry
 from repro.engines.base import Engine, RunResult
-from repro.engines.partition_based import PartitionEngine
-from repro.engines.subway import SubwayEngine
-from repro.engines.uvm_engine import UVMEngine
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import Dataset, load_dataset
 from repro.graph.properties import best_source
 from repro.gpusim.device import GPUSpec
+
+if TYPE_CHECKING:  # avoid an import cycle; RunSpec is imported at call time
+    from repro.runner.spec import RunSpec
 
 __all__ = [
     "ENGINES",
@@ -38,6 +40,8 @@ __all__ = [
     "PR_TOL",
     "Workload",
     "make_workload",
+    "workload_for_spec",
+    "run_workload",
     "run_cell",
     "run_all_engines",
     "clear_dataset_cache",
@@ -57,12 +61,30 @@ SSSP_WEIGHT_HIGH = 3
 #: counts and mean active fractions near Table 1's PR rows.
 PR_TOL = 1e-2
 
-ENGINES: Dict[str, type] = {
-    "PT": PartitionEngine,
-    "UVM": UVMEngine,
-    "Subway": SubwayEngine,
-    "Ascetic": AsceticEngine,
-}
+class _EngineView(Mapping):
+    """Read-only, live dict-shaped view over the engine registry.
+
+    Kept for compatibility: ``ENGINES[name]``, ``name in ENGINES``,
+    ``for name in ENGINES`` all keep working, but the contents now track
+    :mod:`repro.engines.registry` — engines registered at runtime appear
+    here (and on the CLI) automatically.
+    """
+
+    def __getitem__(self, name: str) -> Callable[..., Engine]:
+        return registry.get(name)
+
+    def __iter__(self):
+        return iter(registry.available())
+
+    def __len__(self) -> int:
+        return len(registry.available())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"ENGINES({', '.join(registry.available())})"
+
+
+#: Legacy name → factory mapping, now a thin view over the registry.
+ENGINES: Mapping = _EngineView()
 
 
 @dataclass(frozen=True)
@@ -133,15 +155,61 @@ def make_workload(
     )
 
 
-def run_cell(workload: Workload, engine_name: str, **engine_kwargs) -> RunResult:
-    """Run one engine on one workload with the harness configuration."""
-    cls = ENGINES[engine_name]
-    engine: Engine = cls(
-        spec=workload.spec, data_scale=workload.scale, **engine_kwargs
+def workload_for_spec(spec: "RunSpec") -> Workload:
+    """Materialize the workload a :class:`~repro.runner.spec.RunSpec` names."""
+    return make_workload(
+        spec.dataset,
+        spec.algorithm,
+        scale=spec.scale,
+        memory_bytes=spec.memory_bytes,
+    )
+
+
+def run_workload(workload: Workload, engine_name: str, **engine_kwargs) -> RunResult:
+    """Run one registered engine on a pre-built workload.
+
+    This is the primitive under :func:`run_cell`; use it directly when the
+    workload carries something a spec cannot name (a custom or RMAT
+    dataset, a pre-weighted graph).
+    """
+    engine: Engine = registry.create(
+        engine_name, spec=workload.spec, data_scale=workload.scale, **engine_kwargs
     )
     return engine.run(workload.graph, workload.fresh_program())
 
 
+def run_cell(
+    spec: "Union[RunSpec, Workload]", engine_name: str | None = None, **engine_kwargs
+) -> RunResult:
+    """Run one grid cell described by a :class:`~repro.runner.spec.RunSpec`.
+
+    .. deprecated:: 1.1
+        The old positional form ``run_cell(workload, engine_name, **kw)``
+        still works but warns; call :func:`run_workload` (same signature)
+        or build a ``RunSpec`` instead.
+    """
+    from repro.runner.spec import RunSpec
+
+    if isinstance(spec, Workload):
+        warnings.warn(
+            "run_cell(workload, engine_name, ...) is deprecated; pass a "
+            "RunSpec, or use run_workload() for pre-built workloads",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if engine_name is None:
+            raise TypeError("run_cell(workload, ...) requires an engine name")
+        return run_workload(spec, engine_name, **engine_kwargs)
+    if not isinstance(spec, RunSpec):
+        raise TypeError(f"run_cell expects a RunSpec, got {type(spec).__name__}")
+    if engine_name is not None or engine_kwargs:
+        raise TypeError(
+            "run_cell(RunSpec) takes no extra arguments — put engine "
+            "options in RunSpec.engine_opts"
+        )
+    return run_workload(workload_for_spec(spec), spec.engine, **spec.engine_kwargs())
+
+
 def run_all_engines(workload: Workload) -> Dict[str, RunResult]:
-    """Run PT, UVM, Subway and Ascetic on one workload (Tables 4/5 cells)."""
-    return {name: run_cell(workload, name) for name in ENGINES}
+    """Run every registered engine on one workload (Tables 4/5 cells)."""
+    return {name: run_workload(workload, name) for name in ENGINES}

@@ -6,22 +6,42 @@ human-readable tables: :func:`result_to_dict` flattens a
 data, not telemetry), :func:`save_results` / :func:`load_results` round-trip
 lists of them as JSON.  ``benchmarks/results/*.json`` are written through
 this module.
+
+The grid runner's persistent cache needs more: :func:`result_to_payload` /
+:func:`result_from_payload` round-trip a *complete* ``RunResult`` —
+including the value array (raw bytes, base64) and every per-iteration
+record — **bit-exactly** (JSON floats use shortest-repr, which round-trips
+IEEE-754 doubles exactly), so a replayed cell is indistinguishable from a
+recomputed one.
 """
 
 from __future__ import annotations
 
+import base64
 import json
 import os
 from typing import Dict, Iterable, List, Union
 
-from repro.engines.base import RunResult
+import numpy as np
 
-__all__ = ["result_to_dict", "save_results", "load_results"]
+from repro.engines.base import IterationRecord, RunResult
+from repro.gpusim.metrics import Metrics
+
+__all__ = [
+    "result_to_dict",
+    "save_results",
+    "load_results",
+    "result_to_payload",
+    "result_from_payload",
+]
 
 PathLike = Union[str, "os.PathLike[str]"]
 
 #: Format marker for forward compatibility.
 SCHEMA_VERSION = 1
+
+#: Format marker for the *full* (cacheable) payload form.
+PAYLOAD_VERSION = 1
 
 
 def result_to_dict(result: RunResult, include_iterations: bool = False) -> Dict:
@@ -60,6 +80,95 @@ def save_results(
     payload = [result_to_dict(r, include_iterations) for r in results]
     with open(os.fspath(path), "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+def _array_to_payload(arr: np.ndarray) -> Dict:
+    return {
+        "dtype": arr.dtype.str,
+        "shape": list(arr.shape),
+        "data": base64.b64encode(np.ascontiguousarray(arr).tobytes()).decode("ascii"),
+    }
+
+
+def _array_from_payload(payload: Dict) -> np.ndarray:
+    arr = np.frombuffer(
+        base64.b64decode(payload["data"]), dtype=np.dtype(payload["dtype"])
+    )
+    return arr.reshape(payload["shape"]).copy()
+
+
+def result_to_payload(result: RunResult) -> Dict:
+    """Serialize a complete run, value array included, losslessly to JSON types."""
+    return {
+        "payload_version": PAYLOAD_VERSION,
+        "engine": result.engine,
+        "algorithm": result.algorithm,
+        "graph_name": result.graph_name,
+        "values": _array_to_payload(result.values),
+        "iterations": result.iterations,
+        "elapsed_seconds": result.elapsed_seconds,
+        "gpu_idle_fraction": result.gpu_idle_fraction,
+        "metrics": {
+            "bytes_h2d": result.metrics.bytes_h2d,
+            "bytes_d2h": result.metrics.bytes_d2h,
+            "h2d_transfers": result.metrics.h2d_transfers,
+            "d2h_transfers": result.metrics.d2h_transfers,
+            "page_faults": result.metrics.page_faults,
+            "fault_batches": result.metrics.fault_batches,
+            "pages_migrated": result.metrics.pages_migrated,
+            "pages_evicted": result.metrics.pages_evicted,
+            "kernel_launches": result.metrics.kernel_launches,
+            "edges_processed": result.metrics.edges_processed,
+            "phase_seconds": dict(result.metrics.phase_seconds),
+        },
+        "per_iteration": [
+            {
+                "iteration": r.iteration,
+                "n_active_vertices": r.n_active_vertices,
+                "n_active_edges": r.n_active_edges,
+                "bytes_h2d": r.bytes_h2d,
+                "t_start": r.t_start,
+                "t_end": r.t_end,
+            }
+            for r in result.per_iteration
+        ],
+        "extra": dict(result.extra),
+    }
+
+
+def result_from_payload(payload: Dict) -> RunResult:
+    """Rebuild the exact :class:`RunResult` written by :func:`result_to_payload`."""
+    if payload.get("payload_version") != PAYLOAD_VERSION:
+        raise ValueError(
+            f"unsupported result payload version {payload.get('payload_version')!r}"
+        )
+    m = payload["metrics"]
+    metrics = Metrics(
+        bytes_h2d=m["bytes_h2d"],
+        bytes_d2h=m["bytes_d2h"],
+        h2d_transfers=m["h2d_transfers"],
+        d2h_transfers=m["d2h_transfers"],
+        page_faults=m["page_faults"],
+        fault_batches=m["fault_batches"],
+        pages_migrated=m["pages_migrated"],
+        pages_evicted=m["pages_evicted"],
+        kernel_launches=m["kernel_launches"],
+        edges_processed=m["edges_processed"],
+    )
+    for phase, sec in m["phase_seconds"].items():
+        metrics.phase_seconds[phase] = sec
+    return RunResult(
+        engine=payload["engine"],
+        algorithm=payload["algorithm"],
+        graph_name=payload["graph_name"],
+        values=_array_from_payload(payload["values"]),
+        iterations=payload["iterations"],
+        elapsed_seconds=payload["elapsed_seconds"],
+        gpu_idle_fraction=payload["gpu_idle_fraction"],
+        metrics=metrics,
+        per_iteration=[IterationRecord(**r) for r in payload["per_iteration"]],
+        extra=dict(payload["extra"]),
+    )
 
 
 def load_results(path: PathLike) -> List[Dict]:

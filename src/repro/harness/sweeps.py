@@ -15,12 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from repro.core.ascetic import AsceticConfig, AsceticEngine
+from repro.core.ascetic import AsceticConfig
 from repro.core.ratio import static_ratio
-from repro.engines.subway import SubwayEngine
-from repro.graph.datasets import rmat_dataset
+from repro.engines.base import RunResult
+from repro.graph.datasets import DATASETS, rmat_dataset
 from repro.gpusim.device import GPUSpec
-from repro.harness.experiments import Workload, make_workload, run_cell
+from repro.harness.experiments import Workload, make_workload, run_workload
 
 __all__ = [
     "RatioPoint",
@@ -43,48 +43,78 @@ class RatioPoint:
     t_ondemand: float
 
 
+def _ratio_point(ratio: float, res: RunResult) -> RatioPoint:
+    ph = res.metrics.phase_seconds
+    return RatioPoint(
+        ratio=float(ratio),
+        total_seconds=res.elapsed_seconds,
+        t_sr=ph.get("Tsr", 0.0),
+        t_filling=ph.get("Tfilling", 0.0),
+        t_transfer=ph.get("Ttransfer", 0.0),
+        t_ondemand=ph.get("Tondemand", 0.0),
+    )
+
+
 def sweep_static_ratio(
     workload: Workload,
     ratios: Sequence[float],
     config: AsceticConfig | None = None,
+    jobs: int = 1,
+    cache=None,
 ) -> tuple[List[RatioPoint], float, float]:
     """Fig. 10: run Ascetic at each forced Static Region ratio.
 
     Returns (points, subway_seconds, eq2_ratio) — the horizontal Subway
     line and the vertical Eq. 2 marker of the paper's plots.
+
+    With ``jobs > 1`` the ratio points (and the Subway baseline) fan out
+    through :func:`repro.runner.run_grid` — results are bit-identical to
+    the serial path.  Parallel execution requires a workload built by
+    :func:`~repro.harness.experiments.make_workload` on a named dataset;
+    custom-dataset workloads fall back to serial.
     """
     cfg = config or AsceticConfig()
-    points: List[RatioPoint] = []
-    for r in ratios:
-        engine = AsceticEngine(
-            spec=workload.spec,
-            data_scale=workload.scale,
-            # Fig. 10 isolates the ratio: adaptive repartitioning would
-            # move the forced ratio mid-run, so it is pinned off here.
-            config=cfg.with_(forced_ratio=float(r), adaptive=False),
+    # Fig. 10 isolates the ratio: adaptive repartitioning would move the
+    # forced ratio mid-run, so it is pinned off for every point.
+    ratio_cfgs = [cfg.with_(forced_ratio=float(r), adaptive=False) for r in ratios]
+    if jobs > 1 and workload.dataset.abbr in DATASETS:
+        from repro.runner import RunSpec, run_grid
+
+        common = dict(
+            dataset=workload.dataset.abbr,
+            algorithm=workload.algorithm,
+            scale=workload.scale,
+            memory_bytes=workload.spec.memory_bytes,
         )
-        res = engine.run(workload.graph, workload.fresh_program())
-        ph = res.metrics.phase_seconds
-        points.append(
-            RatioPoint(
-                ratio=float(r),
-                total_seconds=res.elapsed_seconds,
-                t_sr=ph.get("Tsr", 0.0),
-                t_filling=ph.get("Tfilling", 0.0),
-                t_transfer=ph.get("Ttransfer", 0.0),
-                t_ondemand=ph.get("Tondemand", 0.0),
+        specs = [
+            RunSpec(engine="Ascetic", engine_opts={"config": c}, **common)
+            for c in ratio_cfgs
+        ]
+        specs.append(RunSpec(engine="Subway", **common))
+        report = run_grid(specs, jobs=jobs, cache=cache)
+        failed = [c for c in report.cells if not c.ok]
+        if failed:
+            raise RuntimeError(
+                "ratio sweep cells failed: "
+                + "; ".join(f"{c.spec.label()}: {c.error}" for c in failed)
             )
-        )
-    subway = SubwayEngine(spec=workload.spec, data_scale=workload.scale).run(
-        workload.graph, workload.fresh_program()
-    )
+        points = [
+            _ratio_point(r, c.result) for r, c in zip(ratios, report.cells)
+        ]
+        subway_seconds = report.cells[-1].result.elapsed_seconds
+    else:
+        points = [
+            _ratio_point(r, run_workload(workload, "Ascetic", config=c))
+            for r, c in zip(ratios, ratio_cfgs)
+        ]
+        subway_seconds = run_workload(workload, "Subway").elapsed_seconds
     vertex_state = workload.graph.vertex_state_bytes
     eq2 = static_ratio(
         cfg.k,
         workload.graph.edge_array_bytes,
         max(workload.spec.memory_bytes - vertex_state, 1),
     )
-    return points, subway.elapsed_seconds, eq2
+    return points, subway_seconds, eq2
 
 
 @dataclass(frozen=True)
@@ -117,8 +147,8 @@ def sweep_gpu_memory(
     for frac in memory_fractions:
         mem = int(base.graph.dataset_bytes * frac)
         w = make_workload(abbr, algorithm, scale=scale, memory_bytes=mem)
-        asc = run_cell(w, "Ascetic")
-        sub = run_cell(w, "Subway")
+        asc = run_workload(w, "Ascetic")
+        sub = run_workload(w, "Subway")
         points.append(
             MemoryPoint(
                 label=f"{frac:.0%}",
@@ -147,8 +177,8 @@ def sweep_rmat_sizes(
         ds = rmat_dataset(paper_edges, scale=scale)
         mem = int(gpu_memory_paper_bytes * scale)
         w = make_workload(ds.abbr, algorithm, scale=scale, memory_bytes=mem, dataset=ds)
-        asc = run_cell(w, "Ascetic")
-        sub = run_cell(w, "Subway")
+        asc = run_workload(w, "Ascetic")
+        sub = run_workload(w, "Subway")
         points.append(
             MemoryPoint(
                 label=ds.abbr,

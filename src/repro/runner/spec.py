@@ -1,0 +1,149 @@
+"""RunSpec — the immutable request object for one experiment cell.
+
+A *cell* is one (dataset, algorithm, engine) point of the paper's grid,
+plus everything that determines its outcome: the dataset down-scale, an
+optional device-capacity override, and engine-specific options (e.g.
+Ascetic's :class:`~repro.core.ascetic.AsceticConfig`).  Because engine runs
+are deterministic functions of these inputs, a ``RunSpec`` is also a cache
+key: :meth:`RunSpec.cache_key` is a stable content hash that the
+:mod:`repro.runner.cache` uses to replay unchanged cells across sessions.
+
+``RunSpec`` is frozen and hashable; option values must themselves be
+hashable and serializable (JSON scalars or ``AsceticConfig``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.core.ascetic import AsceticConfig
+
+__all__ = ["RunSpec"]
+
+#: Option values a spec can carry: JSON scalars plus engine config objects.
+OptValue = Union[str, int, float, bool, None, AsceticConfig]
+
+
+def _encode_opt(value: OptValue) -> Any:
+    """One engine option → a JSON-able value (configs get a type tag)."""
+    if isinstance(value, AsceticConfig):
+        return {"__kind__": "AsceticConfig", "fields": value.to_dict()}
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(
+        f"engine option {value!r} is not serializable; use JSON scalars "
+        "or AsceticConfig"
+    )
+
+
+def _decode_opt(value: Any) -> OptValue:
+    """Inverse of :func:`_encode_opt`."""
+    if isinstance(value, dict):
+        if value.get("__kind__") == "AsceticConfig":
+            return AsceticConfig.from_dict(value["fields"])
+        raise ValueError(f"unknown tagged engine option {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One grid cell, fully specified.
+
+    Parameters
+    ----------
+    dataset:
+        Table-3 abbreviation (``GS`` / ``FK`` / ``FS`` / ``UK``).
+    algorithm:
+        Vertex-program name (normalized to upper case).
+    engine:
+        A name registered in :mod:`repro.engines.registry`.
+    scale:
+        Dataset down-scale; ``None`` means the benchmark default
+        (``repro.harness.experiments.BENCH_SCALE``), resolved eagerly so
+        two specs meaning the same run hash identically.
+    memory_bytes:
+        Optional (scaled) device-capacity override.
+    engine_opts:
+        Extra keyword options for the engine factory, e.g.
+        ``{"config": AsceticConfig(...)}``.  Accepted as a mapping;
+        stored as a sorted tuple of pairs so the spec stays hashable.
+    """
+
+    dataset: str
+    algorithm: str
+    engine: str
+    scale: Optional[float] = None
+    memory_bytes: Optional[int] = None
+    engine_opts: Tuple[Tuple[str, OptValue], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "algorithm", self.algorithm.upper())
+        if self.scale is None:
+            from repro.harness.experiments import BENCH_SCALE
+
+            object.__setattr__(self, "scale", BENCH_SCALE)
+        object.__setattr__(self, "scale", float(self.scale))
+        opts = self.engine_opts
+        if isinstance(opts, Mapping):
+            opts = tuple(sorted(opts.items()))
+        else:
+            opts = tuple(sorted((str(k), v) for k, v in opts))
+        for _, v in opts:
+            _encode_opt(v)  # reject unserializable values eagerly
+        object.__setattr__(self, "engine_opts", opts)
+
+    # ------------------------------------------------------------- views
+    @property
+    def opts(self) -> Dict[str, OptValue]:
+        """The engine options as a plain dict."""
+        return dict(self.engine_opts)
+
+    def engine_kwargs(self) -> Dict[str, OptValue]:
+        """Keyword arguments to pass to the engine factory."""
+        return dict(self.engine_opts)
+
+    def label(self) -> str:
+        """Short display form: ``dataset/algorithm/engine``."""
+        return f"{self.dataset}/{self.algorithm}/{self.engine}"
+
+    # ------------------------------------------------------ serialization
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-able mapping; inverse of :meth:`from_dict`."""
+        return {
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "engine": self.engine,
+            "scale": self.scale,
+            "memory_bytes": self.memory_bytes,
+            "engine_opts": {k: _encode_opt(v) for k, v in self.engine_opts},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        """Rebuild a spec written by :meth:`to_dict`."""
+        return cls(
+            dataset=data["dataset"],
+            algorithm=data["algorithm"],
+            engine=data["engine"],
+            scale=data.get("scale"),
+            memory_bytes=data.get("memory_bytes"),
+            engine_opts={
+                k: _decode_opt(v) for k, v in (data.get("engine_opts") or {}).items()
+            },
+        )
+
+    def cache_key(self) -> str:
+        """Stable content hash of this spec.
+
+        Canonical JSON (sorted keys, exact float repr) hashed with
+        SHA-256; the first 24 hex digits name the cache entry on disk.
+        The repro *code version* is deliberately not part of the key —
+        it is stored inside the cache payload instead, so a version
+        mismatch can be counted as an invalidation rather than a
+        silent miss (see :class:`repro.runner.cache.ResultCache`).
+        """
+        blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]

@@ -84,3 +84,48 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Eq. 2" in out
         assert "Subway baseline" in out
+
+    def test_compare_parallel_matches_serial(self, capsys):
+        assert main(["compare", "--dataset", "FK", "--algo", "BFS",
+                     "--scale", "5e-5"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["compare", "--dataset", "FK", "--algo", "BFS",
+                     "--scale", "5e-5", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_sweep_ratio_parallel(self, capsys):
+        rc = main(
+            ["sweep-ratio", "--dataset", "FK", "--algo", "CC", "--scale", "5e-5",
+             "--ratios", "0.0", "0.9", "--jobs", "2"]
+        )
+        assert rc == 0
+        assert "Subway baseline" in capsys.readouterr().out
+
+
+class TestGridCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["grid"])
+        assert args.jobs == 1
+        assert args.datasets == ["GS", "FK", "FS", "UK"]
+        assert args.algos == ["BFS", "SSSP", "CC", "PR"]
+        assert args.engines is None
+        assert not args.no_cache
+
+    def test_grid_runs_and_caches(self, capsys, tmp_path):
+        argv = ["grid", "--datasets", "FK", "--algos", "BFS", "--scale", "5e-5",
+                "--jobs", "2", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "4 computed" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "4 cached" in warm
+        assert "4 hit(s)" in warm
+
+    def test_grid_no_cache(self, capsys, tmp_path):
+        rc = main(["grid", "--datasets", "FK", "--algos", "BFS",
+                   "--engines", "Subway", "--scale", "5e-5", "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 computed" in out
+        assert "cache:" not in out

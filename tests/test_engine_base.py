@@ -1,0 +1,38 @@
+"""Engine.run edge cases: zero-iteration runs, record labelling."""
+
+import pytest
+
+from repro.algorithms import make_program
+from repro.engines.subway import SubwayEngine
+from repro.core.ascetic import AsceticEngine
+from repro.graph.generators import social_graph
+from repro.gpusim.device import GPUSpec
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return social_graph(300, 3000, seed=5)
+
+
+@pytest.mark.parametrize("engine_cls", [SubwayEngine, AsceticEngine])
+class TestZeroIteration:
+    def test_capped_at_zero_emits_no_records(self, engine_cls, graph):
+        engine = engine_cls(spec=GPUSpec(memory_bytes=1 << 20), max_iterations=0)
+        res = engine.run(graph, make_program("BFS", source=0))
+        assert res.iterations == 0
+        assert res.per_iteration == []
+        assert res.elapsed_seconds >= 0
+        assert 0.0 <= res.gpu_idle_fraction <= 1.0
+
+    def test_negative_cap_treated_as_zero(self, engine_cls, graph):
+        engine = engine_cls(spec=GPUSpec(memory_bytes=1 << 20), max_iterations=-3)
+        res = engine.run(graph, make_program("BFS", source=0))
+        assert res.iterations == 0
+        assert res.per_iteration == []
+
+
+def test_records_labelled_with_pre_step_index(graph):
+    engine = SubwayEngine(spec=GPUSpec(memory_bytes=1 << 20))
+    res = engine.run(graph, make_program("BFS", source=0))
+    assert [r.iteration for r in res.per_iteration] == list(range(res.iterations))
+    assert all(r.t_end >= r.t_start for r in res.per_iteration)

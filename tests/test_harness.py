@@ -9,6 +9,7 @@ from repro.harness.experiments import (
     make_workload,
     run_all_engines,
     run_cell,
+    run_workload,
 )
 from repro.harness.sweeps import sweep_gpu_memory, sweep_rmat_sizes, sweep_static_ratio
 
@@ -61,8 +62,31 @@ class TestRunCell:
 
     def test_engine_kwargs_forwarded(self):
         w = make_workload("FK", "BFS", scale=SCALE)
-        res = run_cell(w, "Ascetic", config=AsceticConfig(overlap=False))
+        res = run_workload(w, "Ascetic", config=AsceticConfig(overlap=False))
         assert res.engine == "Ascetic"
+
+    def test_run_cell_accepts_runspec(self):
+        from repro.runner import RunSpec
+
+        res = run_cell(RunSpec("FK", "BFS", "Subway", scale=SCALE))
+        assert res.engine == "Subway"
+        assert res.algorithm == "BFS"
+
+    def test_run_cell_runspec_rejects_extra_args(self):
+        from repro.runner import RunSpec
+
+        with pytest.raises(TypeError):
+            run_cell(RunSpec("FK", "BFS", "Subway", scale=SCALE), "Ascetic")
+
+    def test_run_cell_workload_shim_warns_and_matches(self):
+        import numpy as np
+
+        w = make_workload("FK", "BFS", scale=SCALE)
+        with pytest.warns(DeprecationWarning):
+            old = run_cell(w, "Subway")
+        new = run_workload(w, "Subway")
+        assert np.array_equal(old.values, new.values)
+        assert old.elapsed_seconds == new.elapsed_seconds
 
 
 class TestSweeps:
@@ -75,6 +99,12 @@ class TestSweeps:
         # More static region ⇒ more static compute, less transfer.
         assert points[-1].t_sr > points[0].t_sr
         assert points[-1].t_transfer < points[0].t_transfer
+
+    def test_static_ratio_sweep_parallel_matches_serial(self):
+        w = make_workload("FK", "CC", scale=SCALE)
+        serial = sweep_static_ratio(w, [0.0, 0.9])
+        parallel = sweep_static_ratio(w, [0.0, 0.9], jobs=2)
+        assert serial == parallel  # RatioPoints are frozen dataclasses
 
     def test_memory_sweep(self):
         points = sweep_gpu_memory("FK", "CC", [0.4, 0.8], scale=SCALE)
@@ -95,7 +125,7 @@ class TestExtensionWorkloads:
         assert w.graph.is_weighted
         prog = w.fresh_program()
         assert prog.name == "SSWP"
-        res = run_cell(w, "Ascetic")
+        res = run_workload(w, "Ascetic")
         assert res.algorithm == "SSWP"
 
     def test_pr_pull_streams_reverse_graph(self):
@@ -106,7 +136,7 @@ class TestExtensionWorkloads:
         import numpy as np
 
         assert not np.array_equal(pull.graph.out_degree(), fwd.graph.out_degree())
-        res = run_cell(pull, "Subway")
+        res = run_workload(pull, "Subway")
         assert res.iterations > 1
 
 
@@ -115,7 +145,7 @@ class TestPersistenceIntegration:
         from repro.harness.persistence import load_results, save_results
 
         w = make_workload("FK", "BFS", scale=SCALE)
-        res = run_cell(w, "Ascetic")
+        res = run_workload(w, "Ascetic")
         p = tmp_path / "cell.json"
         save_results([res], p, include_iterations=True)
         loaded = load_results(p)[0]

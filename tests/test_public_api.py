@@ -40,6 +40,7 @@ MODULES = [
     "repro.engines",
     "repro.engines.base",
     "repro.engines.partition_based",
+    "repro.engines.registry",
     "repro.engines.subway",
     "repro.engines.uvm_engine",
     "repro.core",
@@ -62,6 +63,10 @@ MODULES = [
     "repro.harness.experiments",
     "repro.harness.sweeps",
     "repro.harness.persistence",
+    "repro.runner",
+    "repro.runner.spec",
+    "repro.runner.cache",
+    "repro.runner.executor",
     "repro.cli",
 ]
 
@@ -96,3 +101,39 @@ def test_version_exposed():
     import repro
 
     assert repro.__version__
+
+
+def test_top_level_surface_pinned():
+    """``repro.__all__`` is the stable public surface — change deliberately."""
+    import repro
+
+    assert set(repro.__all__) == {
+        "CSRGraph",
+        "load_dataset",
+        "DATASETS",
+        "GPUSpec",
+        "SimulatedGPU",
+        "Engine",
+        "IterationRecord",
+        "RunResult",
+        "PartitionEngine",
+        "UVMEngine",
+        "SubwayEngine",
+        "AsceticEngine",
+        "AsceticConfig",
+        "registry",
+        "RunSpec",
+        "ResultCache",
+        "GridReport",
+        "run_grid",
+        "__version__",
+    }
+
+
+def test_engines_package_exports_ascetic():
+    """The engine surface is complete: baselines + the paper's engine."""
+    import repro.engines as engines
+
+    assert engines.AsceticEngine is engines.registry.get("Ascetic")
+    for name in ("PT", "UVM", "Subway", "Ascetic"):
+        assert name in engines.registry.available()

@@ -1,0 +1,89 @@
+"""Tests for the engine registry and its legacy ``ENGINES`` view."""
+
+import pytest
+
+from repro.core.ascetic import AsceticEngine
+from repro.engines import registry
+from repro.engines.base import Engine
+from repro.gpusim.device import GPUSpec
+from repro.harness.experiments import ENGINES
+
+
+class _FakeEngine:
+    """Minimal engine-shaped object for registration tests."""
+
+    name = "Fake"
+
+    def __init__(self, spec=None, data_scale=1.0, **kwargs):
+        self.spec = spec
+        self.kwargs = kwargs
+
+    def run(self, graph, program):  # pragma: no cover - never exercised
+        raise NotImplementedError
+
+
+@pytest.fixture
+def fake_engine():
+    registry.register("Fake", _FakeEngine)
+    yield _FakeEngine
+    registry.unregister("Fake")
+
+
+class TestRegistry:
+    def test_builtins_present_in_paper_order(self):
+        names = registry.available()
+        assert names[:4] == ("PT", "UVM", "Subway", "Ascetic")
+
+    def test_get_and_create(self):
+        assert registry.get("Ascetic") is AsceticEngine
+        engine = registry.create("Subway", spec=GPUSpec(memory_bytes=1 << 20))
+        assert isinstance(engine, Engine)
+        assert engine.name == "Subway"
+
+    def test_unknown_engine_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="Ascetic"):
+            registry.get("CUDA")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("Ascetic", AsceticEngine)
+
+    def test_replace_allows_override(self, fake_engine):
+        registry.register("Fake", fake_engine, replace=True)
+        assert registry.get("Fake") is fake_engine
+
+    def test_register_validates(self):
+        with pytest.raises(ValueError):
+            registry.register("", _FakeEngine)
+        with pytest.raises(TypeError):
+            registry.register("NotCallable", 42)
+
+    def test_unregister(self):
+        registry.register("Temp", _FakeEngine)
+        registry.unregister("Temp")
+        assert not registry.is_registered("Temp")
+        with pytest.raises(KeyError):
+            registry.unregister("Temp")
+
+
+class TestEnginesView:
+    def test_view_tracks_registry(self, fake_engine):
+        assert "Fake" in ENGINES
+        assert ENGINES["Fake"] is fake_engine
+        assert set(ENGINES) == set(registry.available())
+        assert len(ENGINES) == len(registry.available())
+
+    def test_view_after_unregister(self):
+        assert "Fake" not in ENGINES
+
+    def test_view_is_read_only(self):
+        with pytest.raises(TypeError):
+            ENGINES["PT"] = _FakeEngine  # Mapping, not MutableMapping
+
+    def test_cli_choices_follow_registry(self, fake_engine):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["run", "--dataset", "FK", "--algo", "BFS", "--engine", "Fake"]
+        )
+        assert args.engine == "Fake"

@@ -1,0 +1,80 @@
+"""Tests for the persistent result cache: hits, misses, invalidation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments import run_cell
+from repro.runner import ResultCache, RunSpec, code_version
+
+SCALE = 5e-5
+
+SPEC = RunSpec("FK", "BFS", "Subway", scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_cell(SPEC)
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        assert cache.lookup(SPEC) is None
+        assert cache.stats.misses == 1
+        cache.store(SPEC, result)
+        assert cache.stats.stores == 1
+        replay = cache.lookup(SPEC)
+        assert replay is not None
+        assert cache.stats.hits == 1
+        assert np.array_equal(replay.values, result.values)
+        assert replay.elapsed_seconds == result.elapsed_seconds
+        assert replay.metrics.as_dict() == result.metrics.as_dict()
+        assert replay.extra == result.extra
+        assert [r.__dict__ for r in replay.per_iteration] == [
+            r.__dict__ for r in result.per_iteration
+        ]
+
+    def test_persists_across_instances(self, tmp_path, result):
+        ResultCache(tmp_path).store(SPEC, result)
+        fresh = ResultCache(tmp_path)
+        assert fresh.lookup(SPEC) is not None
+        assert fresh.stats.hits == 1
+
+    def test_distinct_specs_do_not_collide(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        cache.store(SPEC, result)
+        other = RunSpec("FK", "BFS", "Subway", scale=SCALE, memory_bytes=1 << 22)
+        assert cache.lookup(other) is None
+
+
+class TestInvalidation:
+    def test_code_version_mismatch_counts(self, tmp_path, result):
+        ResultCache(tmp_path, version="v1").store(SPEC, result)
+        cache = ResultCache(tmp_path, version="v2")
+        assert cache.lookup(SPEC) is None
+        assert cache.stats.invalidations == 1
+        assert cache.stats.misses == 1
+        # Recompute + store under v2 makes it a hit again.
+        cache.store(SPEC, result)
+        assert cache.lookup(SPEC) is not None
+        assert cache.stats.hits == 1
+
+    def test_corrupt_entry_counts(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        path = cache.store(SPEC, result)
+        path.write_text("{not json")
+        assert cache.lookup(SPEC) is None
+        assert cache.stats.invalidations == 1
+
+    def test_entry_names_spec_for_inspection(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        path = cache.store(SPEC, result)
+        entry = json.loads(path.read_text())
+        assert entry["spec"]["dataset"] == "FK"
+        assert entry["spec"]["engine"] == "Subway"
+        assert entry["code_version"] == code_version()
+
+    def test_default_version_is_code_version(self, tmp_path):
+        assert ResultCache(tmp_path).version == code_version()

@@ -1,0 +1,87 @@
+"""Tests for RunSpec: normalization, serialization, cache keys."""
+
+import pytest
+
+from repro.core.ascetic import AsceticConfig
+from repro.harness.experiments import BENCH_SCALE
+from repro.runner import RunSpec
+
+
+class TestNormalization:
+    def test_algorithm_uppercased(self):
+        assert RunSpec("FK", "bfs", "Ascetic").algorithm == "BFS"
+
+    def test_default_scale_is_bench_scale(self):
+        assert RunSpec("FK", "BFS", "Ascetic").scale == BENCH_SCALE
+
+    def test_explicit_scale_matches_default(self):
+        # None and the explicit benchmark value must hash identically.
+        a = RunSpec("FK", "BFS", "Ascetic")
+        b = RunSpec("FK", "BFS", "Ascetic", scale=BENCH_SCALE)
+        assert a == b
+        assert a.cache_key() == b.cache_key()
+
+    def test_engine_opts_accepts_mapping(self):
+        s = RunSpec("FK", "BFS", "Ascetic", engine_opts={"b": 1, "a": 2})
+        assert s.engine_opts == (("a", 2), ("b", 1))
+        assert s.opts == {"a": 2, "b": 1}
+        assert s.engine_kwargs() == {"a": 2, "b": 1}
+
+    def test_hashable(self):
+        cfg = AsceticConfig(overlap=False)
+        s = RunSpec("FK", "BFS", "Ascetic", engine_opts={"config": cfg})
+        assert len({s, RunSpec("FK", "BFS", "Ascetic", engine_opts={"config": cfg})}) == 1
+
+    def test_unserializable_opt_rejected(self):
+        with pytest.raises(TypeError):
+            RunSpec("FK", "BFS", "Ascetic", engine_opts={"cb": lambda: None})
+
+    def test_label(self):
+        assert RunSpec("FK", "bfs", "Subway").label() == "FK/BFS/Subway"
+
+
+class TestSerialization:
+    def test_round_trip_plain(self):
+        s = RunSpec("GS", "PR", "UVM", scale=1e-4, memory_bytes=1 << 20)
+        assert RunSpec.from_dict(s.to_dict()) == s
+
+    def test_round_trip_with_config(self):
+        cfg = AsceticConfig(fill="lazy", forced_ratio=0.5, adaptive=False)
+        s = RunSpec("FK", "CC", "Ascetic", engine_opts={"config": cfg})
+        back = RunSpec.from_dict(s.to_dict())
+        assert back == s
+        assert back.opts["config"] == cfg
+
+    def test_unknown_tagged_opt_rejected(self):
+        d = RunSpec("FK", "BFS", "Ascetic").to_dict()
+        d["engine_opts"] = {"config": {"__kind__": "Mystery"}}
+        with pytest.raises(ValueError):
+            RunSpec.from_dict(d)
+
+    def test_config_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            AsceticConfig.from_dict({"k": 0.1, "warp_size": 32})
+
+    def test_config_round_trip(self):
+        cfg = AsceticConfig(k=0.25, replacement=False)
+        assert AsceticConfig.from_dict(cfg.to_dict()) == cfg
+
+
+class TestCacheKey:
+    def test_stable(self):
+        s = RunSpec("FK", "BFS", "Ascetic")
+        assert s.cache_key() == RunSpec("FK", "BFS", "Ascetic").cache_key()
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            RunSpec("GS", "BFS", "Ascetic"),
+            RunSpec("FK", "CC", "Ascetic"),
+            RunSpec("FK", "BFS", "Subway"),
+            RunSpec("FK", "BFS", "Ascetic", scale=1e-4),
+            RunSpec("FK", "BFS", "Ascetic", memory_bytes=1 << 20),
+            RunSpec("FK", "BFS", "Ascetic", engine_opts={"config": AsceticConfig(k=0.2)}),
+        ],
+    )
+    def test_differs_when_any_field_differs(self, other):
+        assert RunSpec("FK", "BFS", "Ascetic").cache_key() != other.cache_key()
