@@ -14,7 +14,14 @@
   geomean, ASCII sparklines for the figure benches.
 """
 
-from repro.analysis.traces import AccessTrace, TraceSummary, trace_uvm_run
+from repro.analysis.traces import (
+    AccessTrace,
+    TraceSummary,
+    trace_uvm_run,
+    chrome_trace_events,
+    to_chrome_trace,
+    save_chrome_trace,
+)
 from repro.analysis.active_edges import active_edge_fractions, table1_row
 from repro.analysis.memory_usage import subway_memory_usage, subway_idle_fraction
 from repro.analysis.breakdown import OptimizationBreakdown, measure_breakdown
@@ -31,6 +38,9 @@ __all__ = [
     "AccessTrace",
     "TraceSummary",
     "trace_uvm_run",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "save_chrome_trace",
     "active_edge_fractions",
     "table1_row",
     "subway_memory_usage",

@@ -1,4 +1,4 @@
-"""Chunk-granularity access traces — the Fig. 2 measurement.
+"""Access traces (Fig. 2) and Chrome/Perfetto timeline export.
 
 The paper acquires edge-access traces with nvprof while edges live in UVM,
 then plots (time, chunk-id) scatter per iteration and per-chunk access
@@ -12,19 +12,38 @@ paper's two panels plus the quantities its prose claims:
 * *flat access counts*: every chunk is touched about equally often over the
   run (low coefficient of variation, "no noticeable hot spot");
 * *sparse iterations*: only a fraction of chunks per iteration.
+
+The second half of this module exports a recorded
+:class:`~repro.gpusim.events.EventLog` as Chrome-trace JSON
+(:func:`to_chrome_trace` / :func:`save_chrome_trace`, surfaced as the
+``repro trace`` CLI subcommand), loadable in Perfetto (ui.perfetto.dev) or
+``chrome://tracing``.  Each lane becomes one timeline row, so the paper's
+Fig. 5 overlap story — Subway's sequential staircase versus Ascetic's
+concurrently busy gpu/copy/cpu rows — is directly visible.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import List
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
 
 import numpy as np
 
+from repro.engines.base import RunResult
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import GPUSpec
+from repro.gpusim.events import EventLog, SimEvent
 
-__all__ = ["AccessTrace", "TraceSummary", "trace_uvm_run"]
+__all__ = [
+    "AccessTrace",
+    "TraceSummary",
+    "trace_uvm_run",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "save_chrome_trace",
+]
 
 
 @dataclass
@@ -120,3 +139,121 @@ def trace_uvm_run(
     result = engine.run(graph, program)
     n_chunks = engine._uvm.n_pages
     return trace, trace.summarize(n_chunks), result
+
+
+# --------------------------------------------------------------------------
+# Chrome/Perfetto trace export
+# --------------------------------------------------------------------------
+
+#: One Chrome-trace thread row per lane, in schedule order.
+LANE_TIDS = {"gpu": 0, "copy": 1, "cpu": 2}
+#: Instant (lane-less) markers — UVM faults, pins — get their own row.
+MARKER_TID = 3
+
+TraceSource = Union[EventLog, RunResult, Iterable[SimEvent]]
+
+
+def _source_events(source: TraceSource) -> List[SimEvent]:
+    if isinstance(source, RunResult):
+        if source.event_log is None:
+            raise ValueError(
+                "RunResult carries no event log — run the engine with "
+                "record_events=True (engine opt / RunSpec engine_opts)"
+            )
+        return source.event_log.events
+    if isinstance(source, EventLog):
+        if not source.record:
+            raise ValueError(
+                "EventLog ran in lean mode; construct with record=True "
+                "(engine record_events=True) to export a trace"
+            )
+        return source.events
+    return list(source)
+
+
+def chrome_trace_events(source: TraceSource) -> List[Dict[str, Any]]:
+    """Flatten events to the Chrome-trace ``traceEvents`` list.
+
+    Lane-occupying events become complete slices (``ph="X"`` with ``ts`` /
+    ``dur`` in microseconds); lane-less markers become instants
+    (``ph="i"``).  Metadata records name the process and one thread per
+    lane so Perfetto renders labelled rows.
+    """
+    events = _source_events(source)
+    out: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": "repro-sim"},
+    }]
+    for lane, tid in sorted(LANE_TIDS.items(), key=lambda kv: kv[1]):
+        out.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+            "args": {"name": lane},
+        })
+    out.append({
+        "name": "thread_name", "ph": "M", "pid": 0, "tid": MARKER_TID,
+        "args": {"name": "markers"},
+    })
+    next_tid = MARKER_TID + 1
+    tids = dict(LANE_TIDS)
+    for e in events:
+        args: Dict[str, Any] = {"kind": e.kind}
+        if e.phase is not None:
+            args["phase"] = e.phase
+        if e.iteration is not None:
+            args["iteration"] = e.iteration
+        args.update({k: v for k, v in e.to_dict().items()
+                     if k not in ("lane", "kind", "label", "start", "end",
+                                  "phase", "iteration", "extra")})
+        args.update(dict(e.extra))
+        if e.is_instant:
+            out.append({
+                "name": e.label or e.kind, "ph": "i", "s": "t",
+                "ts": e.start * 1e6, "pid": 0, "tid": MARKER_TID,
+                "cat": e.kind, "args": args,
+            })
+            continue
+        tid = tids.get(e.lane)
+        if tid is None:  # an engine invented a lane: give it its own row
+            tid = tids[e.lane] = next_tid
+            next_tid += 1
+            out.append({
+                "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+                "args": {"name": e.lane},
+            })
+        out.append({
+            "name": e.label or e.kind, "ph": "X",
+            "ts": e.start * 1e6, "dur": e.duration * 1e6,
+            "pid": 0, "tid": tid,
+            "cat": e.phase or e.kind, "args": args,
+        })
+    return out
+
+
+def to_chrome_trace(source: TraceSource) -> Dict[str, Any]:
+    """The full Chrome-trace JSON object for a recorded run.
+
+    Accepts a :class:`~repro.engines.base.RunResult` (with an attached
+    event log), a recorded :class:`~repro.gpusim.events.EventLog`, or a
+    raw event iterable.
+    """
+    doc: Dict[str, Any] = {
+        "traceEvents": chrome_trace_events(source),
+        "displayTimeUnit": "ms",
+    }
+    if isinstance(source, RunResult):
+        doc["otherData"] = {
+            "engine": source.engine,
+            "algorithm": source.algorithm,
+            "graph": source.graph_name,
+            "iterations": source.iterations,
+            "elapsed_seconds": source.elapsed_seconds,
+        }
+    return doc
+
+
+def save_chrome_trace(path: "str | Path", source: TraceSource) -> Path:
+    """Write the Chrome-trace JSON for ``source`` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(source)))
+    return path

@@ -7,6 +7,7 @@ Exposes the experiment harness without writing Python::
     repro compare --dataset UK --algo PR            # all four engines
     repro compare --dataset UK --algo PR --jobs 4   # ...in parallel
     repro sweep-ratio --dataset FK --algo CC        # Fig.-10 style sweep
+    repro trace FK BFS --engine Ascetic -o run.json # Perfetto timeline
     repro grid --jobs 4                             # full 4x4x4 grid, cached
 
 Every command prints the same fixed-width reports the benchmarks produce.
@@ -95,6 +96,23 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_arg(sw_p)
     sw_p.add_argument("--ratios", type=float, nargs="+",
                       default=[0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 1.0])
+
+    tr_p = sub.add_parser(
+        "trace",
+        help="run one engine with event recording and export a "
+             "Chrome/Perfetto trace",
+    )
+    tr_p.add_argument("dataset", choices=sorted(DATASETS),
+                      help="Table-3 dataset abbreviation")
+    tr_p.add_argument("algo", choices=ALGOS, help="vertex program")
+    tr_p.add_argument("--engine", default="Ascetic", choices=engine_choices)
+    tr_p.add_argument("--scale", type=float, default=BENCH_SCALE,
+                      help=f"dataset down-scale (default {BENCH_SCALE:g})")
+    tr_p.add_argument("--memory-bytes", type=int, default=None,
+                      help="override the (scaled) device capacity")
+    tr_p.add_argument("-o", "--output", default=None,
+                      help="trace JSON path (default "
+                           "<dataset>_<algo>_<engine>.trace.json)")
 
     g_p = sub.add_parser(
         "grid",
@@ -212,6 +230,24 @@ def _cmd_sweep_ratio(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.analysis.traces import save_chrome_trace
+    from repro.gpusim.events import validate_log
+
+    w = make_workload(args.dataset, args.algo, scale=args.scale,
+                      memory_bytes=args.memory_bytes)
+    res = run_workload(w, args.engine, record_events=True)
+    # The exported trace is only worth looking at if the log is coherent.
+    validate_log(res.event_log, metrics=res.metrics,
+                 horizon=res.elapsed_seconds)
+    out = args.output or f"{args.dataset}_{args.algo}_{args.engine}.trace.json"
+    path = save_chrome_trace(out, res)
+    print(res.summary())
+    print(f"wrote {len(res.event_log.events)} events to {path} "
+          "(open in ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
 def _cmd_grid(args) -> int:
     engines = tuple(args.engines) if args.engines else registry.available()
     specs = grid_specs(args.datasets, args.algos, engines, scale=args.scale)
@@ -252,6 +288,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "sweep-ratio":
         return _cmd_sweep_ratio(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "grid":
         return _cmd_grid(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -129,8 +129,10 @@ class AsceticEngine(Engine):
         record_spans: bool = False,
         max_iterations: int | None = None,
         data_scale: float = 1.0,
+        record_events: bool = False,
     ) -> None:
-        super().__init__(spec, record_spans, max_iterations, data_scale)
+        super().__init__(spec, record_spans, max_iterations, data_scale,
+                         record_events)
         self.config = config or AsceticConfig()
 
     # ----------------------------------------------------------- lifecycle
@@ -175,7 +177,8 @@ class AsceticEngine(Engine):
         self._ratio = ratio
         if self._prefill_bytes:
             gpu.cpu_gather(self._prefill_bytes, label="prefill-gather")
-            gpu.h2d(self._prefill_bytes, label="static-prefill", phase="Tprefill")
+            with gpu.phase("Tprefill"):
+                gpu.h2d(self._prefill_bytes, label="static-prefill")
         self._outcomes: List[IterationOutcome] = []
 
     def _iteration(

@@ -78,7 +78,8 @@ def run_iteration(
     bpe = graph.bytes_per_edge
 
     # ➊ Generate the data maps (two bitmap passes + compaction scan).
-    t_map = gpu.vertex_scan(n, passes=2, label="gen-datamap", phase="Tmap")
+    with gpu.phase("Tmap"):
+        t_map = gpu.vertex_scan(n, passes=2, label="gen-datamap")
     static_bitmap = region.vertex_static_bitmap()
     smap, odmap = split_active(state.active, static_bitmap)
     plan = plan_ondemand(graph, odmap, _stream_cap(ondemand_alloc, region))
@@ -105,7 +106,8 @@ def run_iteration(
             gpu.memory.resize(ondemand_alloc, ondemand_alloc.nbytes + freed)
             out.repartitioned = True
             # Bitmaps changed: regenerate the data map (§3.3).
-            t_map = gpu.vertex_scan(n, passes=2, label="regen-datamap", phase="Tmap")
+            with gpu.phase("Tmap"):
+                t_map = gpu.vertex_scan(n, passes=2, label="regen-datamap")
             static_bitmap = region.vertex_static_bitmap()
             smap, odmap = split_active(state.active, static_bitmap)
             plan = plan_ondemand(graph, odmap, _stream_cap(ondemand_alloc, region))
@@ -118,35 +120,46 @@ def run_iteration(
 
     # ➌ Static computing — overlapped (or not) with the on-demand chain.
     if overlap:
-        gpu.edge_kernel(
-            static_edges, label="static-compute", atomics=program.atomics,
-            after=t_map, phase="Tsr",
-        )
+        with gpu.phase("Tsr"):
+            gpu.edge_kernel(
+                static_edges, label="static-compute", atomics=program.atomics,
+                after=t_map,
+            )
         prev = gpu.d2h(plan.request_bytes, label="od-requests", after=t_map)
         if plan.n_rounds > ROUND_LOOP_LIMIT:
             _stream_aggregate(gpu, plan, program, after=prev, sequential=False)
         else:
             for rnd in plan.iter_rounds():
-                t_gather = gpu.cpu_gather(rnd.nbytes, label="od-gather",
-                                          after=prev, phase="Tfilling")
-                t_xfer = gpu.h2d(rnd.nbytes, label="od-transfer",
-                                 after=t_gather, phase="Ttransfer")
-                gpu.edge_kernel(rnd.n_edges, label="od-compute",
-                                atomics=program.atomics, after=t_xfer,
-                                phase="Tondemand")
+                with gpu.phase("Tfilling"):
+                    t_gather = gpu.cpu_gather(rnd.nbytes, label="od-gather",
+                                              after=prev)
+                with gpu.phase("Ttransfer"):
+                    t_xfer = gpu.h2d(rnd.nbytes, label="od-transfer",
+                                     after=t_gather)
+                with gpu.phase("Tondemand"):
+                    gpu.edge_kernel(rnd.n_edges, label="od-compute",
+                                    atomics=program.atomics, after=t_xfer)
                 prev = t_gather  # next gather may start while this round flies
     else:
-        gpu.sync(gpu.edge_kernel(static_edges, label="static-compute",
-                                 atomics=program.atomics, after=t_map, phase="Tsr"))
+        with gpu.phase("Tsr"):
+            t_static = gpu.edge_kernel(static_edges, label="static-compute",
+                                       atomics=program.atomics, after=t_map)
+        gpu.sync(t_static)
         gpu.sync(gpu.d2h(plan.request_bytes, label="od-requests"))
         if plan.n_rounds > ROUND_LOOP_LIMIT:
             _stream_aggregate(gpu, plan, program, after=gpu.clock.now, sequential=True)
         else:
             for rnd in plan.iter_rounds():
-                gpu.sync(gpu.cpu_gather(rnd.nbytes, label="od-gather", phase="Tfilling"))
-                gpu.sync(gpu.h2d(rnd.nbytes, label="od-transfer", phase="Ttransfer"))
-                gpu.sync(gpu.edge_kernel(rnd.n_edges, label="od-compute",
-                                         atomics=program.atomics, phase="Tondemand"))
+                with gpu.phase("Tfilling"):
+                    t = gpu.cpu_gather(rnd.nbytes, label="od-gather")
+                gpu.sync(t)
+                with gpu.phase("Ttransfer"):
+                    t = gpu.h2d(rnd.nbytes, label="od-transfer")
+                gpu.sync(t)
+                with gpu.phase("Tondemand"):
+                    t = gpu.edge_kernel(rnd.n_edges, label="od-compute",
+                                        atomics=program.atomics)
+                gpu.sync(t)
 
     # ➍½ Lazy fill: on-demand data that just landed on the device is kept
     # in the Static Region while there is room (a device-side copy, free of
@@ -168,7 +181,8 @@ def run_iteration(
             moved = region.swap(swap.evict, swap.load)
             out.swap_bytes = moved
             gpu.cpu_gather(moved, label="swap-gather")
-            gpu.h2d(moved, label="static-swap", phase="Tswap")
+            with gpu.phase("Tswap"):
+                gpu.h2d(moved, label="static-swap")
 
     gpu.sync()
     return out
@@ -201,22 +215,23 @@ def _stream_aggregate(gpu: SimulatedGPU, plan, program: VertexProgram,
         + (spec.kernel.atomic_penalty if program.atomics else 1.0)
         * charged_edges / spec.kernel.edge_throughput
     )
-    t_g = gpu.cpu.submit(gather_dur, "od-gather*", after=after)
-    t_x = gpu.copy.submit(
-        xfer_dur, "od-transfer*",
-        after=t_g if sequential else (t_g - gather_dur + gather_dur / n),
-    )
-    gpu.gpu.submit(
-        kern_dur, "od-compute*",
-        after=t_x if sequential else (t_x - xfer_dur + xfer_dur / n),
-    )
-    gpu.metrics.bytes_h2d += payload
-    gpu.metrics.h2d_transfers += n
-    gpu.metrics.kernel_launches += n
-    gpu.metrics.edges_processed += charged_edges
-    gpu.metrics.add_phase("Tfilling", gather_dur)
-    gpu.metrics.add_phase("Ttransfer", xfer_dur)
-    gpu.metrics.add_phase("Tondemand", kern_dur)
+    with gpu.phase("Tfilling"):
+        t_g = gpu.cpu.submit(gather_dur, "od-gather*", after=after,
+                             kind="gather")
+    with gpu.phase("Ttransfer"):
+        t_x = gpu.copy.submit(
+            xfer_dur, "od-transfer*",
+            after=t_g if sequential else (t_g - gather_dur + gather_dur / n),
+            kind="h2d",
+            counters={"bytes_h2d": payload, "h2d_transfers": n},
+        )
+    with gpu.phase("Tondemand"):
+        gpu.gpu.submit(
+            kern_dur, "od-compute*",
+            after=t_x if sequential else (t_x - xfer_dur + xfer_dur / n),
+            kind="kernel",
+            counters={"kernel_launches": n, "edges_processed": charged_edges},
+        )
 
 
 def _stream_cap(ondemand_alloc: Allocation, region: StaticRegion) -> int:

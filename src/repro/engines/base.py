@@ -20,6 +20,7 @@ from repro.algorithms.base import ProgramState, VertexProgram
 from repro.algorithms.frontier import active_edge_count
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import GPUSpec, SimulatedGPU
+from repro.gpusim.events import EventLog
 from repro.gpusim.metrics import Metrics
 
 __all__ = ["Engine", "IterationRecord", "RunResult"]
@@ -61,6 +62,9 @@ class RunResult:
     #: Engine-specific extras (e.g. Ascetic's static prefill bytes, the
     #: chosen static ratio, UVM fault totals).
     extra: Dict[str, float] = field(default_factory=dict)
+    #: The run's full event log, attached only when the engine was built
+    #: with ``record_events=True`` (``metrics`` above is its fold).
+    event_log: Optional[EventLog] = None
 
     @property
     def bytes_h2d(self) -> int:
@@ -101,6 +105,11 @@ class Engine(abc.ABC):
         *scaled* bytes — i.e. already multiplied by ``data_scale``).
     record_spans:
         Keep a full timeline (slower; used by overlap tests and plots).
+    record_events:
+        Retain the run's full :class:`~repro.gpusim.events.SimEvent` list
+        and attach it to :attr:`RunResult.event_log` (trace export,
+        validation).  Off by default: lean mode folds events into the
+        counters on emit, keeping benchmark overhead flat.
     max_iterations:
         Safety cap overriding the program's own.
     data_scale:
@@ -119,11 +128,13 @@ class Engine(abc.ABC):
         record_spans: bool = False,
         max_iterations: Optional[int] = None,
         data_scale: float = 1.0,
+        record_events: bool = False,
     ) -> None:
         if data_scale <= 0 or data_scale > 1.0:
             raise ValueError("data_scale must be in (0, 1]")
         self.spec = spec or GPUSpec()
         self.record_spans = record_spans
+        self.record_events = record_events
         self.max_iterations = max_iterations
         self.data_scale = data_scale
         self.iteration_hook: Optional[IterationHook] = None
@@ -162,6 +173,7 @@ class Engine(abc.ABC):
             self.spec,
             record_spans=self.record_spans,
             charge_scale=1.0 / self.data_scale,
+            record_events=self.record_events,
         )
         state = program.init_state(graph)
         self._prepare(gpu, graph, program)
@@ -182,7 +194,8 @@ class Engine(abc.ABC):
             # bump ``state.iteration`` cannot produce an off-by-one (or,
             # on a zero-iteration run, a phantom ``-1``) record.
             iter_index = state.iteration
-            self._iteration(gpu, graph, program, state)
+            with gpu.iteration(iter_index):
+                self._iteration(gpu, graph, program, state)
             program.step(graph, state)
             gpu.sync()
             records.append(
@@ -208,6 +221,7 @@ class Engine(abc.ABC):
             gpu_idle_fraction=gpu.gpu_idle_fraction(),
             per_iteration=records,
             extra={"dataset_bytes": graph.dataset_bytes / self.data_scale},
+            event_log=gpu.events if self.record_events else None,
         )
         self._report_extra(result, gpu, graph)
         return result

@@ -39,9 +39,10 @@ class PartitionEngine(Engine):
     name = "PT"
 
     def __init__(self, spec=None, record_spans=False, max_iterations=None,
-                 data_scale=1.0, double_buffer: bool = False,
-                 pinned_partitions: int = 0):
-        super().__init__(spec, record_spans, max_iterations, data_scale)
+                 data_scale=1.0, record_events=False,
+                 double_buffer: bool = False, pinned_partitions: int = 0):
+        super().__init__(spec, record_spans, max_iterations, data_scale,
+                         record_events)
         if pinned_partitions < 0:
             raise ValueError("pinned_partitions must be non-negative")
         self.double_buffer = double_buffer
@@ -94,21 +95,22 @@ class PartitionEngine(Engine):
                 # compute straight away, nothing to transfer.  Does not
                 # gate the streaming buffers (kernel_ends tracks only
                 # partitions that occupy them).
-                gpu.edge_kernel(part.n_edges, label=f"compute{pid}",
-                                atomics=program.atomics, phase="Tcompute")
+                with gpu.phase("Tcompute"):
+                    gpu.edge_kernel(part.n_edges, label=f"compute{pid}",
+                                    atomics=program.atomics)
                 continue
             gate = kernel_ends[-lag] if len(kernel_ends) >= lag else 0.0
-            t_x = gpu.h2d(part.nbytes, label=f"part{pid}", after=gate,
-                          phase="Ttransfer")
+            with gpu.phase("Ttransfer"):
+                t_x = gpu.h2d(part.nbytes, label=f"part{pid}", after=gate)
             # Partition-granular processing is *redundant* by construction:
             # the kernel sweeps the whole partition, active or not (§2.1).
-            t_k = gpu.edge_kernel(
-                part.n_edges,
-                label=f"compute{pid}",
-                atomics=program.atomics,
-                after=t_x,
-                phase="Tcompute",
-            )
+            with gpu.phase("Tcompute"):
+                t_k = gpu.edge_kernel(
+                    part.n_edges,
+                    label=f"compute{pid}",
+                    atomics=program.atomics,
+                    after=t_x,
+                )
             kernel_ends.append(t_k)
         gpu.sync()
 

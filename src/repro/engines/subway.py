@@ -49,9 +49,10 @@ class SubwayEngine(Engine):
     name = "Subway"
 
     def __init__(self, spec=None, record_spans=False, max_iterations=None,
-                 data_scale=1.0, pipelined: bool = False,
+                 data_scale=1.0, record_events=False, pipelined: bool = False,
                  materialize: bool = False):
-        super().__init__(spec, record_spans, max_iterations, data_scale)
+        super().__init__(spec, record_spans, max_iterations, data_scale,
+                         record_events)
         self.pipelined = pipelined
         #: Physically build each iteration's SubCSR (the buffer a real
         #: system DMAs) instead of only costing it.  Slower; the staged
@@ -99,8 +100,9 @@ class SubwayEngine(Engine):
         self._n_iterations += 1
 
         # (a) GenDataMap on the GPU + request list down to the host.
-        done = gpu.vertex_scan(graph.n_vertices, passes=2, label="gen-datamap",
-                               phase="Tmap")
+        with gpu.phase("Tmap"):
+            done = gpu.vertex_scan(graph.n_vertices, passes=2,
+                                   label="gen-datamap")
         gpu.sync(done)
         gpu.sync(gpu.d2h(offset_bytes, label="requests"))
 
@@ -117,23 +119,27 @@ class SubwayEngine(Engine):
             bytes_left -= r_bytes
             edges_left -= r_edges
             if self.pipelined:
-                t_g = gpu.cpu_gather(r_bytes, label="gather",
-                                     after=prev_gather, phase="Tfilling")
-                t_x = gpu.h2d(r_bytes, label="subgraph", after=t_g,
-                              phase="Ttransfer")
-                gpu.edge_kernel(r_edges, label="compute",
-                                atomics=program.atomics, after=t_x,
-                                phase="Tcompute")
+                with gpu.phase("Tfilling"):
+                    t_g = gpu.cpu_gather(r_bytes, label="gather",
+                                         after=prev_gather)
+                with gpu.phase("Ttransfer"):
+                    t_x = gpu.h2d(r_bytes, label="subgraph", after=t_g)
+                with gpu.phase("Tcompute"):
+                    gpu.edge_kernel(r_edges, label="compute",
+                                    atomics=program.atomics, after=t_x)
                 prev_gather = t_g
             else:
                 # (b) host gather, then PCIe copy — GPU idles throughout.
-                done = gpu.cpu_gather(r_bytes, label="gather", phase="Tfilling")
+                with gpu.phase("Tfilling"):
+                    done = gpu.cpu_gather(r_bytes, label="gather")
                 gpu.sync(done)
-                done = gpu.h2d(r_bytes, label="subgraph", phase="Ttransfer")
+                with gpu.phase("Ttransfer"):
+                    done = gpu.h2d(r_bytes, label="subgraph")
                 gpu.sync(done)
                 # (c) compute on the gathered subgraph.
-                done = gpu.edge_kernel(r_edges, label="compute",
-                                       atomics=program.atomics, phase="Tcompute")
+                with gpu.phase("Tcompute"):
+                    done = gpu.edge_kernel(r_edges, label="compute",
+                                           atomics=program.atomics)
                 gpu.sync(done)
         gpu.sync()
 

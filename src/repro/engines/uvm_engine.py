@@ -43,9 +43,11 @@ class UVMEngine(Engine):
         record_spans: bool = False,
         max_iterations: int | None = None,
         data_scale: float = 1.0,
+        record_events: bool = False,
         pin_fraction: float = 0.25,
     ) -> None:
-        super().__init__(spec, record_spans, max_iterations, data_scale)
+        super().__init__(spec, record_spans, max_iterations, data_scale,
+                         record_events)
         if not 0.0 <= pin_fraction <= 1.0:
             raise ValueError("pin_fraction must be in [0, 1]")
         self.pin_fraction = pin_fraction
@@ -65,6 +67,8 @@ class UVMEngine(Engine):
             managed_bytes=graph.edge_array_bytes,
             capacity_bytes=capacity,
             page_size=self.scaled_bytes(gpu.spec.uvm_page_size),
+            events=gpu.events,
+            clock=gpu.clock,
         )
         gpu.h2d(self._vertex_state_bytes(graph), label="vertex-state")
         if self.pin_fraction > 0.0 and self._uvm.n_pages:
@@ -127,18 +131,31 @@ class UVMEngine(Engine):
         kernel = spec.uvm_kernel_penalty * spec.kernel.edge_kernel_seconds(
             int(n_edges * gpu.charge_scale), atomics=program.atomics
         )
-        # Faults stall the SMs: kernel + migration serialize on the GPU lane.
-        done = gpu.gpu.submit(kernel + stall, label="uvm-kernel")
-        gpu.metrics.kernel_launches += 1 if n_edges else 0
-        gpu.metrics.edges_processed += int(n_edges * gpu.charge_scale)
-        gpu.metrics.bytes_h2d += charged_bytes
-        gpu.metrics.h2d_transfers += fault_batches
-        gpu.metrics.page_faults += access.n_faults
-        gpu.metrics.fault_batches += fault_batches
-        gpu.metrics.pages_migrated += access.n_faults
-        gpu.metrics.pages_evicted += access.n_evicted
-        gpu.metrics.add_phase("Tcompute", kernel)
-        gpu.metrics.add_phase("Tfault", stall)
+        # Faults stall the SMs: kernel then migration serialize on the GPU
+        # lane as two events, so the compute / fault-stall split survives in
+        # the timeline.  The fault/migration/eviction counters were already
+        # emitted by the pager's touch(); the stall event carries the PCIe
+        # charge.
+        done = gpu.clock.now
+        if n_edges > 0 or kernel > 0:
+            with gpu.phase("Tcompute"):
+                done = gpu.gpu.submit(
+                    kernel, label="uvm-kernel", kind="kernel",
+                    counters={
+                        "kernel_launches": 1 if n_edges else 0,
+                        "edges_processed": int(n_edges * gpu.charge_scale),
+                    },
+                )
+        if stall > 0 or fault_batches or charged_bytes:
+            with gpu.phase("Tfault"):
+                done = gpu.gpu.submit(
+                    stall, label="uvm-fault-stall", kind="fault-stall",
+                    counters={
+                        "bytes_h2d": charged_bytes,
+                        "h2d_transfers": fault_batches,
+                        "fault_batches": fault_batches,
+                    },
+                )
         gpu.sync(done)
 
     def _report_extra(self, result: RunResult, gpu: SimulatedGPU, graph: CSRGraph) -> None:

@@ -13,7 +13,11 @@ GPU memory control, so this package models the platform deterministically:
 * :mod:`repro.gpusim.kernel` — kernel cost model (edges/s, scans, launches);
 * :mod:`repro.gpusim.uvm` — Unified Virtual Memory: pages, faults, LRU;
 * :mod:`repro.gpusim.host` — host-side gather cost model;
-* :mod:`repro.gpusim.metrics` — counters every engine reports from.
+* :mod:`repro.gpusim.metrics` — counters every engine reports from;
+* :mod:`repro.gpusim.events` — the event-sourced accounting core: every
+  submit emits one :class:`~repro.gpusim.events.SimEvent`, and metrics,
+  phases, spans, and idle accounting are folds over the per-run
+  :class:`~repro.gpusim.events.EventLog`.
 
 Every engine decision (what to move, when, overlapped with what) lives in the
 engines; this package only turns (bytes, edges) into virtual seconds and
@@ -21,6 +25,19 @@ enforces capacity.
 """
 
 from repro.gpusim.clock import VirtualClock, Span
+from repro.gpusim.events import (
+    EventLog,
+    EventLogError,
+    IdleBreakdown,
+    LaneStats,
+    SimEvent,
+    fold_lane_stats,
+    fold_metrics,
+    fold_phase_seconds,
+    fold_spans,
+    idle_breakdown,
+    validate_log,
+)
 from repro.gpusim.metrics import Metrics
 from repro.gpusim.memory import DeviceMemory, Allocation, GPUOutOfMemory
 from repro.gpusim.pcie import PCIeLink
@@ -33,6 +50,17 @@ from repro.gpusim.device import GPUSpec, SimulatedGPU
 __all__ = [
     "VirtualClock",
     "Span",
+    "SimEvent",
+    "EventLog",
+    "EventLogError",
+    "LaneStats",
+    "IdleBreakdown",
+    "fold_metrics",
+    "fold_spans",
+    "fold_phase_seconds",
+    "fold_lane_stats",
+    "idle_breakdown",
+    "validate_log",
     "Metrics",
     "DeviceMemory",
     "Allocation",

@@ -2,16 +2,29 @@
 
 :class:`GPUSpec` is the single source of truth for the cost model (DESIGN.md
 §5); :class:`SimulatedGPU` bundles the virtual clock, the device-memory
-allocator, the three lanes (GPU compute, copy engine, host CPU), and the run
-counters.  Engines talk to this facade exclusively — it is the "hardware"
-every policy is charged against, identically.
+allocator, the three lanes (GPU compute, copy engine, host CPU), and the
+per-run :class:`~repro.gpusim.events.EventLog`.  Engines talk to this facade
+exclusively — it is the "hardware" every policy is charged against,
+identically.
+
+Accounting is event-sourced: every operation routes through
+:meth:`~repro.gpusim.stream.Lane.submit`, which emits exactly one
+:class:`~repro.gpusim.events.SimEvent` carrying the op's counter
+contribution and the phase/iteration context installed with
+``with gpu.phase("Tsr", iteration=i): ...``.  The legacy ``gpu.metrics``
+counters remain available as the log's derived view.  Empty operations
+(zero bytes / zero edges) are short-circuited uniformly: no lane time, no
+span, no event, no counters.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional
 
 from repro.gpusim.clock import VirtualClock
+from repro.gpusim.events import EventLog
 from repro.gpusim.host import HostGather
 from repro.gpusim.kernel import KernelModel
 from repro.gpusim.memory import DeviceMemory
@@ -81,90 +94,131 @@ class SimulatedGPU:
     metrics (bytes, seconds) come out directly comparable to the paper's
     tables.  Capacity accounting (the memory allocator) stays in scaled
     bytes throughout.
+
+    ``record_events`` retains the full :class:`SimEvent` list on
+    ``self.events`` for trace export and validation; the default lean mode
+    folds each event into the counters on emit and drops it.
     """
 
     def __init__(self, spec: GPUSpec, record_spans: bool = False,
-                 charge_scale: float = 1.0) -> None:
+                 charge_scale: float = 1.0,
+                 record_events: bool = False) -> None:
         if charge_scale <= 0:
             raise ValueError("charge_scale must be positive")
         self.spec = spec
         self.charge_scale = charge_scale
         self.clock = VirtualClock(record=record_spans)
         self.memory = DeviceMemory(spec.memory_bytes)
-        self.metrics = Metrics()
-        self.gpu = Lane("gpu", self.clock)
-        self.copy = Lane("copy", self.clock)
-        self.cpu = Lane("cpu", self.clock)
+        self.events = EventLog(record=record_events)
+        self.gpu = Lane("gpu", self.clock, log=self.events)
+        self.copy = Lane("copy", self.clock, log=self.events)
+        self.cpu = Lane("cpu", self.clock, log=self.events)
+
+    @property
+    def metrics(self) -> Metrics:
+        """The legacy counter bundle — now the event log's derived view."""
+        return self.events.metrics
 
     def _scale(self, n: float) -> int:
         """Scaled count → paper-scale count for the cost model."""
         return int(round(n * self.charge_scale))
 
+    # ------------------------------------------------------------- context
+    @contextmanager
+    def phase(self, name: str,
+              iteration: Optional[int] = None) -> Iterator["SimulatedGPU"]:
+        """Attribute all work submitted inside the block to phase ``name``.
+
+        Replaces the old per-call ``phase=`` string threading: the emitted
+        events carry the phase, and ``metrics.phase_seconds`` is folded
+        from them.  Optionally also (re)binds the iteration index.
+        """
+        log = self.events
+        prev_phase = log.current_phase
+        prev_iter = log.current_iteration
+        log.current_phase = name
+        if iteration is not None:
+            log.current_iteration = iteration
+        try:
+            yield self
+        finally:
+            log.current_phase = prev_phase
+            log.current_iteration = prev_iter
+
+    @contextmanager
+    def iteration(self, index: int) -> Iterator["SimulatedGPU"]:
+        """Stamp events emitted inside the block with iteration ``index``."""
+        log = self.events
+        prev = log.current_iteration
+        log.current_iteration = index
+        try:
+            yield self
+        finally:
+            log.current_iteration = prev
+
     # ------------------------------------------------------------ transfers
     def h2d(self, nbytes: int, label: str = "h2d", after: float = 0.0,
-            n_requests: int = 1, phase: str | None = None) -> float:
+            n_requests: int = 1) -> float:
         """Queue a host→device copy on the copy engine; returns finish time."""
+        if nbytes <= 0:
+            return self.copy.submit(0.0, label, after=after)
         charged = self._scale(nbytes)
         dur = self.spec.pcie.streaming_seconds(charged, n_requests)
-        end = self.copy.submit(dur, label, after=after)
-        self.metrics.bytes_h2d += self.spec.pcie.payload_bytes(charged)
-        self.metrics.h2d_transfers += 1 if nbytes else 0
-        if phase:
-            self.metrics.add_phase(phase, dur)
-        return end
+        return self.copy.submit(
+            dur, label, after=after, kind="h2d",
+            counters={"bytes_h2d": self.spec.pcie.payload_bytes(charged),
+                      "h2d_transfers": 1},
+        )
 
-    def d2h(self, nbytes: int, label: str = "d2h", after: float = 0.0,
-            phase: str | None = None) -> float:
+    def d2h(self, nbytes: int, label: str = "d2h", after: float = 0.0) -> float:
         """Queue a device→host copy on the copy engine; returns finish time."""
+        if nbytes <= 0:
+            return self.copy.submit(0.0, label, after=after)
         charged = self._scale(nbytes)
         dur = self.spec.pcie.transfer_seconds(charged)
-        end = self.copy.submit(dur, label, after=after)
-        self.metrics.bytes_d2h += self.spec.pcie.payload_bytes(charged)
-        self.metrics.d2h_transfers += 1 if nbytes else 0
-        if phase:
-            self.metrics.add_phase(phase, dur)
-        return end
+        return self.copy.submit(
+            dur, label, after=after, kind="d2h",
+            counters={"bytes_d2h": self.spec.pcie.payload_bytes(charged),
+                      "d2h_transfers": 1},
+        )
 
     # -------------------------------------------------------------- kernels
     def edge_kernel(self, n_edges: int, label: str = "edges", atomics: bool = False,
-                    after: float = 0.0, phase: str | None = None) -> float:
+                    after: float = 0.0) -> float:
         """Queue an edge-traversal kernel on the GPU lane."""
+        if n_edges <= 0:
+            return self.gpu.submit(0.0, label, after=after)
         charged = self._scale(n_edges)
         dur = self.spec.kernel.edge_kernel_seconds(charged, atomics=atomics)
-        end = self.gpu.submit(dur, label, after=after)
-        self.metrics.kernel_launches += 1 if n_edges else 0
-        self.metrics.edges_processed += charged
-        if phase:
-            self.metrics.add_phase(phase, dur)
-        return end
+        return self.gpu.submit(
+            dur, label, after=after, kind="kernel",
+            counters={"kernel_launches": 1, "edges_processed": charged},
+        )
 
     def vertex_scan(self, n_vertices: int, passes: int = 1, label: str = "scan",
-                    after: float = 0.0, phase: str | None = None) -> float:
+                    after: float = 0.0) -> float:
         """Queue a vertex-array scan kernel (map generation etc.)."""
+        if n_vertices <= 0 or passes <= 0:
+            return self.gpu.submit(0.0, label, after=after)
         dur = self.spec.kernel.vertex_scan_seconds(self._scale(n_vertices), passes)
-        end = self.gpu.submit(dur, label, after=after)
-        self.metrics.kernel_launches += 1 if n_vertices and passes else 0
-        if phase:
-            self.metrics.add_phase(phase, dur)
-        return end
+        return self.gpu.submit(
+            dur, label, after=after, kind="kernel",
+            counters={"kernel_launches": 1},
+        )
 
     # ------------------------------------------------------------------ CPU
-    def cpu_gather(self, nbytes: int, label: str = "gather", after: float = 0.0,
-                   phase: str | None = None) -> float:
+    def cpu_gather(self, nbytes: int, label: str = "gather",
+                   after: float = 0.0) -> float:
         """Queue a host gather of ``nbytes`` into the staging buffer."""
+        if nbytes <= 0:
+            return self.cpu.submit(0.0, label, after=after)
         dur = self.spec.gather.gather_seconds(self._scale(nbytes))
-        end = self.cpu.submit(dur, label, after=after)
-        if phase:
-            self.metrics.add_phase(phase, dur)
-        return end
+        return self.cpu.submit(dur, label, after=after, kind="gather")
 
-    def cpu_work(self, seconds: float, label: str = "cpu", after: float = 0.0,
-                 phase: str | None = None) -> float:
+    def cpu_work(self, seconds: float, label: str = "cpu",
+                 after: float = 0.0) -> float:
         """Queue arbitrary host work measured in seconds."""
-        end = self.cpu.submit(seconds, label, after=after)
-        if phase:
-            self.metrics.add_phase(phase, seconds)
-        return end
+        return self.cpu.submit(seconds, label, after=after, kind="cpu")
 
     # ----------------------------------------------------------------- sync
     def sync(self, t: float | None = None) -> float:
@@ -182,4 +236,4 @@ class SimulatedGPU:
         """Share of elapsed time the GPU compute lane sat idle (§2.2's 68 %)."""
         if self.clock.now <= 0:
             return 0.0
-        return self.gpu.idle_seconds() / self.clock.now
+        return self.events.idle_seconds("gpu", self.clock.now) / self.clock.now

@@ -1,0 +1,455 @@
+"""The event-sourced timing/accounting core.
+
+Every number the reproduction reports — bytes over PCIe (Tables 2/5),
+per-phase component times (Fig. 10), GPU idle share (§2.2's 68 %), UVM
+fault counts (§4.4) — used to be produced by three disconnected bookkeeping
+paths: hand-maintained :class:`~repro.gpusim.metrics.Metrics` counters,
+optional :class:`~repro.gpusim.clock.VirtualClock` spans, and per-lane
+``busy_seconds`` aggregates.  This module replaces them with a single
+source of truth:
+
+* :class:`SimEvent` — one typed record per simulated activity (lane, op
+  kind, label, start/end, engine phase, iteration, counter payload);
+* :class:`EventLog` — the per-run log every
+  :meth:`~repro.gpusim.stream.Lane.submit` emits into.  In **lean** mode
+  (the default) nothing is retained: each event is folded into a
+  :class:`~repro.gpusim.metrics.Metrics` bundle and per-lane
+  :class:`LaneStats` on emit, keeping benchmark overhead flat.  In
+  **recorded** mode the full event list is kept for trace export
+  (:mod:`repro.analysis.traces`), idle-gap attribution, and validation.
+
+``Metrics``, ``phase_seconds``, span traces, and idle accounting are all
+*pure folds* over the log (:func:`fold_metrics`, :func:`fold_spans`,
+:func:`fold_phase_seconds`, :func:`fold_lane_stats`, :func:`idle_breakdown`)
+— the legacy ``Metrics`` fields survive as the fold's derived view, so
+everything downstream (analysis, persistence, the result cache) keeps
+working.  :func:`validate_log` asserts the invariants that make the fold
+trustworthy: lanes never self-overlap, spans are monotone per lane, and the
+re-folded metrics equal the incrementally maintained counters bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.gpusim.clock import Span
+from repro.gpusim.metrics import Metrics
+
+__all__ = [
+    "SimEvent",
+    "EventLog",
+    "EventLogError",
+    "LaneStats",
+    "IdleBreakdown",
+    "COUNTER_FIELDS",
+    "fold_metrics",
+    "fold_spans",
+    "fold_phase_seconds",
+    "fold_lane_stats",
+    "idle_breakdown",
+    "validate_log",
+]
+
+#: SimEvent fields that fold one-to-one onto :class:`Metrics` counters.
+COUNTER_FIELDS: Tuple[str, ...] = (
+    "bytes_h2d",
+    "bytes_d2h",
+    "h2d_transfers",
+    "d2h_transfers",
+    "kernel_launches",
+    "edges_processed",
+    "page_faults",
+    "fault_batches",
+    "pages_migrated",
+    "pages_evicted",
+)
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One simulated activity, with everything needed to explain it.
+
+    ``lane`` names the engine the activity occupied (``gpu`` / ``copy`` /
+    ``cpu``); an empty lane marks an *instant* bookkeeping event (UVM
+    faults, pins, prefetches) that occupies no lane time.  The counter
+    fields are this event's *contribution* to the run's
+    :class:`~repro.gpusim.metrics.Metrics` — the fold is a plain sum, so
+    an event carries exactly the deltas the legacy call site added.
+    ``extra`` holds descriptive key/value pairs (trace-export args) that
+    do not fold into any counter.
+    """
+
+    lane: str
+    kind: str
+    label: str
+    start: float
+    end: float
+    phase: Optional[str] = None
+    iteration: Optional[int] = None
+    bytes_h2d: int = 0
+    bytes_d2h: int = 0
+    h2d_transfers: int = 0
+    d2h_transfers: int = 0
+    kernel_launches: int = 0
+    edges_processed: int = 0
+    page_faults: int = 0
+    fault_batches: int = 0
+    pages_migrated: int = 0
+    pages_evicted: int = 0
+    extra: Tuple[Tuple[str, float], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def is_instant(self) -> bool:
+        """Whether this is a zero-width bookkeeping marker (no lane time)."""
+        return not self.lane
+
+    # ------------------------------------------------------ serialization
+    def to_dict(self) -> Dict[str, Any]:
+        """Compact JSON-able form: default-valued fields are omitted."""
+        out: Dict[str, Any] = {
+            "lane": self.lane,
+            "kind": self.kind,
+            "label": self.label,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.phase is not None:
+            out["phase"] = self.phase
+        if self.iteration is not None:
+            out["iteration"] = self.iteration
+        for name in COUNTER_FIELDS:
+            value = getattr(self, name)
+            if value:
+                out[name] = value
+        if self.extra:
+            out["extra"] = [[k, v] for k, v in self.extra]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimEvent":
+        """Inverse of :meth:`to_dict`."""
+        kwargs = dict(data)
+        extra = kwargs.pop("extra", None)
+        if extra:
+            kwargs["extra"] = tuple((str(k), v) for k, v in extra)
+        known = {f.name for f in fields(cls)}
+        unknown = set(kwargs) - known
+        if unknown:
+            raise ValueError(f"unknown SimEvent fields: {sorted(unknown)}")
+        return cls(**kwargs)
+
+
+@dataclass
+class LaneStats:
+    """Lean per-lane aggregate maintained by the fold (no retained events)."""
+
+    busy_seconds: float = 0.0
+    n_ops: int = 0
+    first_start: float = math.inf
+    last_end: float = 0.0
+
+
+@dataclass(frozen=True)
+class IdleBreakdown:
+    """Where a lane's idle time went, within ``[0, horizon]``.
+
+    Splits the old undifferentiated ``horizon - busy_seconds`` subtraction
+    into *lead* (before the lane's first op — startup, not a stall),
+    *stall* (gaps between ops — the §2.2 "GPU waits for the CPU gather"
+    signal), and *tail* (after the lane's last op).
+    """
+
+    lead: float
+    stall: float
+    tail: float
+    busy: float
+    horizon: float
+
+    @property
+    def idle(self) -> float:
+        return self.lead + self.stall + self.tail
+
+    @property
+    def idle_fraction(self) -> float:
+        return self.idle / self.horizon if self.horizon > 0 else 0.0
+
+
+class EventLogError(ValueError):
+    """A consistency invariant of an :class:`EventLog` does not hold."""
+
+
+class EventLog:
+    """The per-run event stream plus its incrementally maintained folds.
+
+    Parameters
+    ----------
+    record:
+        Retain the full event list.  Off (lean mode) by default: emits
+        fold straight into the counters and lane stats and the event
+        object is dropped, so benchmarks pay only the fold.
+
+    The log also carries the *emission context* — the engine phase and
+    iteration installed by :meth:`~repro.gpusim.device.SimulatedGPU.phase`
+    / :meth:`~repro.gpusim.device.SimulatedGPU.iteration` — which
+    :meth:`~repro.gpusim.stream.Lane.submit` stamps onto every event it
+    emits, replacing the old per-call ``phase=`` string threading.
+    """
+
+    __slots__ = ("record", "events", "metrics", "lane_stats",
+                 "current_phase", "current_iteration")
+
+    def __init__(self, record: bool = False) -> None:
+        self.record = record
+        self.events: List[SimEvent] = []
+        #: The legacy counter bundle, now a derived view: a running fold
+        #: of every emitted event.
+        self.metrics = Metrics()
+        self.lane_stats: Dict[str, LaneStats] = {}
+        self.current_phase: Optional[str] = None
+        self.current_iteration: Optional[int] = None
+
+    # ------------------------------------------------------------ emission
+    def emit(self, event: SimEvent) -> SimEvent:
+        """Fold ``event`` into the counters (and retain it when recording)."""
+        _apply(self.metrics, event)
+        if event.lane:
+            stats = self.lane_stats.get(event.lane)
+            if stats is None:
+                stats = self.lane_stats[event.lane] = LaneStats()
+            stats.busy_seconds += event.end - event.start
+            stats.n_ops += 1
+            if event.start < stats.first_start:
+                stats.first_start = event.start
+            if event.end > stats.last_end:
+                stats.last_end = event.end
+        if self.record:
+            self.events.append(event)
+        return event
+
+    def marker(self, kind: str, label: str, t: float,
+               counters: Optional[Mapping[str, int]] = None,
+               extra: Tuple[Tuple[str, float], ...] = ()) -> SimEvent:
+        """Emit an instant (zero-width, lane-less) bookkeeping event."""
+        return self.emit(SimEvent(
+            lane="", kind=kind, label=label, start=t, end=t,
+            phase=self.current_phase, iteration=self.current_iteration,
+            extra=extra, **dict(counters or {}),
+        ))
+
+    # -------------------------------------------------------------- views
+    @property
+    def n_events(self) -> int:
+        """Retained event count (0 in lean mode)."""
+        return len(self.events)
+
+    def busy_seconds(self, lane: str) -> float:
+        stats = self.lane_stats.get(lane)
+        return stats.busy_seconds if stats is not None else 0.0
+
+    def idle_seconds(self, lane: str, horizon: float) -> float:
+        """Idle time of ``lane`` within ``[0, horizon]`` (lean-mode fold)."""
+        return max(horizon - self.busy_seconds(lane), 0.0)
+
+    def spans(self) -> List[Span]:
+        """The lane timeline as legacy spans (requires recorded mode)."""
+        self._require_recorded("spans()")
+        return fold_spans(self.events)
+
+    def _require_recorded(self, what: str) -> None:
+        if not self.record:
+            raise EventLogError(
+                f"{what} needs a recorded EventLog; this log runs in lean "
+                "mode (construct the engine/GPU with record_events=True)"
+            )
+
+
+# ------------------------------------------------------------------- folds
+def _apply(metrics: Metrics, event: SimEvent) -> None:
+    """Fold one event into a counter bundle (the single accounting path)."""
+    if event.bytes_h2d:
+        metrics.bytes_h2d += event.bytes_h2d
+    if event.bytes_d2h:
+        metrics.bytes_d2h += event.bytes_d2h
+    if event.h2d_transfers:
+        metrics.h2d_transfers += event.h2d_transfers
+    if event.d2h_transfers:
+        metrics.d2h_transfers += event.d2h_transfers
+    if event.kernel_launches:
+        metrics.kernel_launches += event.kernel_launches
+    if event.edges_processed:
+        metrics.edges_processed += event.edges_processed
+    if event.page_faults:
+        metrics.page_faults += event.page_faults
+    if event.fault_batches:
+        metrics.fault_batches += event.fault_batches
+    if event.pages_migrated:
+        metrics.pages_migrated += event.pages_migrated
+    if event.pages_evicted:
+        metrics.pages_evicted += event.pages_evicted
+    if event.phase is not None and event.end > event.start:
+        metrics.add_phase(event.phase, event.end - event.start)
+
+
+def fold_metrics(events: Iterable[SimEvent]) -> Metrics:
+    """Replay a list of events into a fresh counter bundle.
+
+    Addition order matches emission order, so on a recorded log this
+    reproduces ``log.metrics`` bit-identically — the property
+    :func:`validate_log` asserts.
+    """
+    metrics = Metrics()
+    for event in events:
+        _apply(metrics, event)
+    return metrics
+
+
+def fold_spans(events: Iterable[SimEvent]) -> List[Span]:
+    """The legacy span timeline: one span per lane-occupying event."""
+    return [
+        Span(lane=e.lane, label=e.label, start=e.start, end=e.end)
+        for e in events
+        if e.lane and e.end > e.start
+    ]
+
+
+def fold_phase_seconds(events: Iterable[SimEvent]) -> Dict[str, float]:
+    """Per-phase accumulated seconds (Fig. 10's Tsr/Tfilling/... bars)."""
+    return dict(fold_metrics(events).phase_seconds)
+
+
+def fold_lane_stats(events: Iterable[SimEvent]) -> Dict[str, LaneStats]:
+    """Per-lane busy/op aggregates, identical to the lean-mode fold."""
+    stats: Dict[str, LaneStats] = {}
+    for e in events:
+        if not e.lane:
+            continue
+        st = stats.get(e.lane)
+        if st is None:
+            st = stats[e.lane] = LaneStats()
+        st.busy_seconds += e.end - e.start
+        st.n_ops += 1
+        if e.start < st.first_start:
+            st.first_start = e.start
+        if e.end > st.last_end:
+            st.last_end = e.end
+    return stats
+
+
+def idle_breakdown(
+    log: "EventLog | Iterable[SimEvent]", lane: str, horizon: float
+) -> IdleBreakdown:
+    """Attribute a lane's idle time to lead / stalls / tail.
+
+    The old ``horizon - busy_seconds`` subtraction could not tell a lane
+    that simply *started late* (e.g. the GPU waiting for the one-time
+    vertex-state upload) from one stalling mid-run (§2.2's sequential
+    pipeline).  Works on a recorded :class:`EventLog` or a raw event list.
+    """
+    if isinstance(log, EventLog):
+        log._require_recorded("idle_breakdown()")
+        events = log.events
+    else:
+        events = list(log)
+    ops = sorted(
+        ((e.start, e.end) for e in events if e.lane == lane and e.end > e.start),
+    )
+    if horizon < 0:
+        raise ValueError(f"negative horizon {horizon}")
+    if not ops:
+        return IdleBreakdown(lead=horizon, stall=0.0, tail=0.0,
+                             busy=0.0, horizon=horizon)
+    lead = min(ops[0][0], horizon)
+    busy = 0.0
+    stall = 0.0
+    prev_end = ops[0][0]
+    for start, end in ops:
+        if start > prev_end:
+            stall += min(start, horizon) - min(prev_end, horizon)
+        busy += min(end, horizon) - min(start, horizon)
+        prev_end = max(prev_end, end)
+    tail = max(horizon - prev_end, 0.0)
+    return IdleBreakdown(lead=lead, stall=stall, tail=tail,
+                         busy=busy, horizon=horizon)
+
+
+# -------------------------------------------------------------- validation
+def validate_log(
+    log: EventLog,
+    metrics: Optional[Metrics] = None,
+    horizon: Optional[float] = None,
+) -> Metrics:
+    """Assert the event log's consistency invariants; returns the re-fold.
+
+    Checks, raising :class:`EventLogError` on the first violation:
+
+    * every event is well-formed (``start <= end``, non-negative times);
+    * per lane, events are monotone and **never self-overlap** (a lane is
+      one serially-ordered engine);
+    * instant events occupy no lane;
+    * re-folding the retained events reproduces the incrementally
+      maintained ``log.metrics`` **bit-identically** (counters *and*
+      ``phase_seconds``), and likewise the per-lane stats;
+    * when ``metrics`` is given (e.g. a ``RunResult.metrics``), it equals
+      the fold too;
+    * when ``horizon`` is given, no event ends after it.
+    """
+    log._require_recorded("validate_log()")
+    last_end: Dict[str, float] = {}
+    for i, e in enumerate(log.events):
+        where = f"event #{i} ({e.kind} {e.label!r})"
+        if e.start < 0 or e.end < e.start:
+            raise EventLogError(f"{where}: bad interval [{e.start}, {e.end}]")
+        if horizon is not None and e.end > horizon:
+            raise EventLogError(
+                f"{where}: ends at {e.end} beyond horizon {horizon}"
+            )
+        if not e.lane:
+            if e.end != e.start:
+                raise EventLogError(f"{where}: lane-less event has width")
+            continue
+        prev = last_end.get(e.lane)
+        if prev is not None and e.start < prev:
+            raise EventLogError(
+                f"{where}: lane {e.lane!r} self-overlaps "
+                f"(starts at {e.start} before previous end {prev})"
+            )
+        last_end[e.lane] = e.end
+
+    folded = fold_metrics(log.events)
+    _require_metrics_equal(folded, log.metrics, "incrementally folded metrics")
+    if metrics is not None and metrics is not log.metrics:
+        _require_metrics_equal(folded, metrics, "reported metrics")
+
+    refolded_stats = fold_lane_stats(log.events)
+    if set(refolded_stats) != set(log.lane_stats):
+        raise EventLogError(
+            f"lane set mismatch: fold has {sorted(refolded_stats)}, "
+            f"log has {sorted(log.lane_stats)}"
+        )
+    for lane, st in refolded_stats.items():
+        have = log.lane_stats[lane]
+        if (st.busy_seconds != have.busy_seconds or st.n_ops != have.n_ops
+                or st.first_start != have.first_start
+                or st.last_end != have.last_end):
+            raise EventLogError(f"lane {lane!r}: folded stats diverge")
+    return folded
+
+
+def _require_metrics_equal(folded: Metrics, other: Metrics, what: str) -> None:
+    for name in COUNTER_FIELDS:
+        a, b = getattr(folded, name), getattr(other, name)
+        if a != b:
+            raise EventLogError(
+                f"{what} diverge on {name}: fold={a} counters={b}"
+            )
+    if dict(folded.phase_seconds) != dict(other.phase_seconds):
+        raise EventLogError(
+            f"{what} diverge on phase_seconds: "
+            f"fold={dict(folded.phase_seconds)} counters={dict(other.phase_seconds)}"
+        )

@@ -12,13 +12,21 @@ submits GenDataMap → Gather → Transfer → Compute with a sync after each
 (sequential), while Ascetic submits Static-Region compute on the GPU lane and
 Gather+Transfer on the CPU/copy lanes with no sync in between, so the
 timeline overlaps and the total is the max, not the sum.
+
+Every submit is also the single accounting point: when the lane is wired to
+an :class:`~repro.gpusim.events.EventLog` it emits exactly one
+:class:`~repro.gpusim.events.SimEvent` per op, carrying the op's counter
+contribution and the phase/iteration context active at emission time.
+``Metrics``, spans, and idle accounting are all folds over those events.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Mapping, Optional
 
 from repro.gpusim.clock import VirtualClock
+from repro.gpusim.events import EventLog, SimEvent
 
 __all__ = ["Lane"]
 
@@ -29,11 +37,18 @@ class Lane:
 
     name: str
     clock: VirtualClock
+    log: EventLog = None  # type: ignore[assignment]
     busy_until: float = 0.0
-    busy_seconds: float = 0.0
-    _n_ops: int = field(default=0, repr=False)
 
-    def submit(self, duration: float, label: str = "", after: float = 0.0) -> float:
+    def __post_init__(self) -> None:
+        # Standalone lanes get a private lean log; a SimulatedGPU wires all
+        # its lanes to the shared per-run log instead.
+        if self.log is None:
+            self.log = EventLog(record=False)
+
+    def submit(self, duration: float, label: str = "", after: float = 0.0,
+               *, kind: str = "op",
+               counters: Optional[Mapping[str, int]] = None) -> float:
         """Schedule ``duration`` seconds of work; return its completion time.
 
         ``after`` is an explicit dependency: the work cannot start before
@@ -41,16 +56,28 @@ class Lane:
         The clock itself does not move — call :meth:`Lane.sync` (or
         ``clock.advance_to``) at the point the controlling code actually
         waits.
+
+        ``counters`` is the op's contribution to the run metrics (e.g.
+        ``{"bytes_h2d": n, "h2d_transfers": 1}``); it rides on the emitted
+        event and is folded by the :class:`~repro.gpusim.events.EventLog`.
+        Empty ops — zero duration and no counters — are short-circuited
+        uniformly: no span, no event, no lane occupancy.
         """
         if duration < 0:
             raise ValueError(f"negative duration {duration}")
+        if duration == 0 and not counters:
+            return max(self.clock.now, self.busy_until, after)
         start = max(self.clock.now, self.busy_until, after)
         end = start + duration
         self.busy_until = end
-        self.busy_seconds += duration
-        self._n_ops += 1
         if duration > 0:
             self.clock.log(self.name, label, start, end)
+        self.log.emit(SimEvent(
+            lane=self.name, kind=kind, label=label, start=start, end=end,
+            phase=self.log.current_phase,
+            iteration=self.log.current_iteration,
+            **dict(counters or {}),
+        ))
         return end
 
     def sync(self) -> float:
@@ -58,10 +85,16 @@ class Lane:
         return self.clock.advance_to(self.busy_until)
 
     @property
+    def busy_seconds(self) -> float:
+        """Total seconds of work this lane has executed (event-log fold)."""
+        return self.log.busy_seconds(self.name)
+
+    @property
     def n_ops(self) -> int:
-        return self._n_ops
+        stats = self.log.lane_stats.get(self.name)
+        return stats.n_ops if stats is not None else 0
 
     def idle_seconds(self, horizon: float | None = None) -> float:
         """Idle time of this lane within ``[0, horizon]`` (default: now)."""
         h = self.clock.now if horizon is None else horizon
-        return max(h - self.busy_seconds, 0.0)
+        return self.log.idle_seconds(self.name, h)

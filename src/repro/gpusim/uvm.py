@@ -15,13 +15,24 @@ poor showing to three effects, all modelled here:
 ``advise_pin`` models ``cudaMemAdvise(SetPreferredLocation, device)``:
 pinned pages are prefetched once and never evicted, the optimization the
 paper applies to its UVM baseline (§4.1).
+
+When wired to an :class:`~repro.gpusim.events.EventLog` (and the run's
+clock), the pager *emits* fault/migration/eviction events instead of
+leaving callers to poke counters: each :meth:`touch` produces one instant
+``uvm-fault`` marker carrying the fault/migration/eviction deltas, and
+``prefetch``/``advise_pin`` leave ``uvm-prefetch``/``uvm-pin`` markers.
+The run metrics are folded from these like every other event.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
 
 import numpy as np
+
+from repro.gpusim.clock import VirtualClock
+from repro.gpusim.events import EventLog
 
 __all__ = ["UVMMemory", "UVMAccess"]
 
@@ -47,11 +58,21 @@ class UVMMemory:
         Device memory available for its pages.
     page_size:
         Migration granularity (default 64 KB; UVM uses 64 KB–2 MB, §2).
+    events / clock:
+        When given, pager activity is emitted into the event log as
+        instant markers stamped with the clock's current virtual time
+        (fault/migration/eviction counters ride on the ``uvm-fault``
+        marker).  Without them the pager is purely mechanical.
     """
 
-    def __init__(self, managed_bytes: int, capacity_bytes: int, page_size: int = 64 * 1024):
+    def __init__(self, managed_bytes: int, capacity_bytes: int,
+                 page_size: int = 64 * 1024,
+                 events: Optional[EventLog] = None,
+                 clock: Optional[VirtualClock] = None):
         if managed_bytes < 0 or capacity_bytes < 0 or page_size <= 0:
             raise ValueError("invalid UVM geometry")
+        self._events = events
+        self._clock = clock
         self.page_size = int(page_size)
         self.n_pages = -(-int(managed_bytes) // self.page_size) if managed_bytes else 0
         self.capacity_pages = int(capacity_bytes) // self.page_size
@@ -80,6 +101,15 @@ class UVMMemory:
             return np.empty(0, dtype=np.int64)
         return np.arange(lo // self.page_size, -(-hi // self.page_size), dtype=np.int64)
 
+    def _emit(self, kind: str, label: str,
+              counters: Optional[Mapping[str, int]] = None,
+              extra: Tuple[Tuple[str, float], ...] = ()) -> None:
+        """Leave an instant marker in the event log (no lane time)."""
+        if self._events is None or not (counters or extra):
+            return
+        t = self._clock.now if self._clock is not None else 0.0
+        self._events.marker(kind, label, t, counters=counters, extra=extra)
+
     # -------------------------------------------------------------- actions
     def advise_pin(self, pages: np.ndarray) -> int:
         """Pin pages to the device (cudaMemAdvise); returns bytes prefetched.
@@ -103,6 +133,9 @@ class UVMMemory:
         self._pinned[pages] = True
         self._tick += 1
         self._last_touch[pages] = self._tick
+        self._emit("uvm-pin", "memadvise",
+                   extra=(("pages_pinned", float(pages.size)),
+                          ("bytes_prefetched", float(new.size * self.page_size))))
         return int(new.size) * self.page_size
 
     def touch(self, pages: np.ndarray) -> UVMAccess:
@@ -133,12 +166,12 @@ class UVMMemory:
             self._n_resident = int(np.count_nonzero(self._resident))
             self._tick += 1
             self._last_touch[pages] = self._tick
-            return UVMAccess(
+            return self._record_access(UVMAccess(
                 n_touched=int(pages.size),
                 n_faults=n_faults,
                 n_evicted=n_evicted,
                 bytes_migrated=n_faults * self.page_size,
-            )
+            ))
         missing = pages[~self._resident[pages]]
         n_faults = int(missing.size)
         n_evicted = 0
@@ -150,12 +183,23 @@ class UVMMemory:
             self._n_resident += missing.size
         self._tick += 1
         self._last_touch[pages] = self._tick
-        return UVMAccess(
+        return self._record_access(UVMAccess(
             n_touched=int(pages.size),
             n_faults=n_faults,
             n_evicted=n_evicted,
             bytes_migrated=n_faults * self.page_size,
-        )
+        ))
+
+    def _record_access(self, access: UVMAccess) -> UVMAccess:
+        """Emit one ``uvm-fault`` marker carrying this access's deltas."""
+        counters = {}
+        if access.n_faults:
+            counters["page_faults"] = access.n_faults
+            counters["pages_migrated"] = access.n_faults
+        if access.n_evicted:
+            counters["pages_evicted"] = access.n_evicted
+        self._emit("uvm-fault", "touch", counters=counters)
+        return access
 
     def prefetch(self, pages: np.ndarray) -> int:
         """Migrate pages ahead of demand (the driver's sequential prefetcher).
@@ -189,6 +233,9 @@ class UVMMemory:
         self._n_resident += missing.size
         self._tick += 1
         self._last_touch[missing] = self._tick
+        self._emit("uvm-prefetch", "prefetch",
+                   extra=(("pages", float(missing.size)),
+                          ("bytes", float(missing.size * self.page_size))))
         return int(missing.size) * self.page_size
 
     def _evict(self, k: int) -> int:

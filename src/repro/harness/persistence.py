@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Union
 import numpy as np
 
 from repro.engines.base import IterationRecord, RunResult
+from repro.gpusim.events import EventLog, SimEvent
 from repro.gpusim.metrics import Metrics
 
 __all__ = [
@@ -133,6 +134,11 @@ def result_to_payload(result: RunResult) -> Dict:
             for r in result.per_iteration
         ],
         "extra": dict(result.extra),
+        "events": (
+            [e.to_dict() for e in result.event_log.events]
+            if result.event_log is not None
+            else None
+        ),
     }
 
 
@@ -157,6 +163,13 @@ def result_from_payload(payload: Dict) -> RunResult:
     )
     for phase, sec in m["phase_seconds"].items():
         metrics.phase_seconds[phase] = sec
+    event_log = None
+    if payload.get("events") is not None:
+        # Re-emitting through a fresh recorded log rebuilds the derived
+        # views (folded counters, lane stats) exactly as the live run did.
+        event_log = EventLog(record=True)
+        for entry in payload["events"]:
+            event_log.emit(SimEvent.from_dict(entry))
     return RunResult(
         engine=payload["engine"],
         algorithm=payload["algorithm"],
@@ -168,6 +181,7 @@ def result_from_payload(payload: Dict) -> RunResult:
         metrics=metrics,
         per_iteration=[IterationRecord(**r) for r in payload["per_iteration"]],
         extra=dict(payload["extra"]),
+        event_log=event_log,
     )
 
 

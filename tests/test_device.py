@@ -43,10 +43,38 @@ class TestCharging:
             SimulatedGPU(GPUSpec(), charge_scale=0.0)
 
     def test_phase_accounting(self, gpu):
-        gpu.h2d(1000, phase="Ttransfer")
-        gpu.edge_kernel(1000, phase="Tsr")
+        with gpu.phase("Ttransfer"):
+            gpu.h2d(1000)
+        with gpu.phase("Tsr"):
+            gpu.edge_kernel(1000)
         assert gpu.metrics.phase_seconds["Ttransfer"] > 0
         assert gpu.metrics.phase_seconds["Tsr"] > 0
+
+    def test_phase_context_restores(self, gpu):
+        with gpu.phase("Touter", iteration=3):
+            with gpu.phase("Tinner"):
+                assert gpu.events.current_phase == "Tinner"
+                assert gpu.events.current_iteration == 3
+            assert gpu.events.current_phase == "Touter"
+        assert gpu.events.current_phase is None
+        assert gpu.events.current_iteration is None
+
+    def test_zero_ops_uniformly_skipped(self, gpu):
+        """Empty ops leave no counters, no lane time, and no events."""
+        gpu = SimulatedGPU(GPUSpec(memory_bytes=10**6), record_events=True)
+        gpu.h2d(0)
+        gpu.d2h(0)
+        gpu.edge_kernel(0)
+        gpu.vertex_scan(0)
+        gpu.vertex_scan(100, passes=0)
+        gpu.cpu_gather(0)
+        gpu.cpu_work(0.0)
+        assert gpu.events.events == []
+        assert gpu.metrics.as_dict() == {
+            k: 0 for k in gpu.metrics.as_dict()
+        }
+        for lane in (gpu.gpu, gpu.copy, gpu.cpu):
+            assert lane.n_ops == 0 and lane.busy_until == 0.0
 
 
 class TestScheduling:

@@ -19,6 +19,7 @@ MODULES = [
     "repro.gpusim",
     "repro.gpusim.clock",
     "repro.gpusim.device",
+    "repro.gpusim.events",
     "repro.gpusim.host",
     "repro.gpusim.kernel",
     "repro.gpusim.memory",

@@ -76,8 +76,25 @@ class TestLane:
     def test_n_ops(self, clock):
         lane = Lane("gpu", clock)
         lane.submit(1.0)
-        lane.submit(0.0)
+        lane.submit(2.0)
         assert lane.n_ops == 2
+
+    def test_empty_op_short_circuited(self, clock):
+        """Zero work with no counters leaves no trace anywhere (uniform)."""
+        lane = Lane("gpu", clock)
+        end = lane.submit(0.0, label="noop")
+        assert end == 0.0
+        assert lane.n_ops == 0
+        assert lane.busy_until == 0.0
+        assert lane.log.n_events == 0 and lane.log.lane_stats == {}
+
+    def test_zero_duration_with_counters_still_counted(self, clock):
+        """Counter-bearing instant work emits an event but no span time."""
+        lane = Lane("copy", clock)
+        lane.submit(0.0, label="meta", counters={"h2d_transfers": 1})
+        assert lane.n_ops == 1
+        assert lane.busy_seconds == 0.0
+        assert lane.log.metrics.h2d_transfers == 1
 
     def test_work_after_clock_advances(self, clock):
         lane = Lane("gpu", clock)

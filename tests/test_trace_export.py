@@ -1,0 +1,129 @@
+"""Tests for the Chrome/Perfetto trace exporter and the `repro trace` CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.traces import (
+    LANE_TIDS,
+    MARKER_TID,
+    chrome_trace_events,
+    save_chrome_trace,
+    to_chrome_trace,
+)
+from repro.cli import main
+from repro.engines import registry
+from repro.gpusim.events import EventLog, SimEvent
+from repro.harness.experiments import make_workload, run_workload
+
+from conftest import TEST_SCALE
+
+
+def recorded_log():
+    log = EventLog(record=True)
+    log.emit(SimEvent(lane="copy", kind="h2d", label="part0", start=0.0,
+                      end=0.002, phase="Ttransfer", iteration=1,
+                      bytes_h2d=4096, h2d_transfers=1))
+    log.emit(SimEvent(lane="gpu", kind="kernel", label="relax", start=0.002,
+                      end=0.005, phase="Tcompute", kernel_launches=1,
+                      edges_processed=500))
+    log.marker("uvm-fault", "touch", 0.004,
+               counters={"page_faults": 2, "pages_migrated": 2})
+    return log
+
+
+class TestChromeTraceEvents:
+    def test_slices_have_required_fields(self):
+        slices = [r for r in chrome_trace_events(recorded_log())
+                  if r["ph"] == "X"]
+        assert len(slices) == 2
+        for r in slices:
+            assert set(r) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+        h2d, kernel = slices
+        assert h2d["name"] == "part0"
+        assert h2d["tid"] == LANE_TIDS["copy"]
+        assert h2d["ts"] == pytest.approx(0.0)
+        assert h2d["dur"] == pytest.approx(2000.0)  # 0.002 s in µs
+        assert h2d["args"]["bytes_h2d"] == 4096
+        assert h2d["args"]["phase"] == "Ttransfer"
+        assert h2d["args"]["iteration"] == 1
+        assert kernel["cat"] == "Tcompute"
+
+    def test_instants_on_marker_row(self):
+        instants = [r for r in chrome_trace_events(recorded_log())
+                    if r["ph"] == "i"]
+        assert len(instants) == 1
+        (m,) = instants
+        assert m["tid"] == MARKER_TID
+        assert m["s"] == "t"
+        assert "dur" not in m
+        assert m["args"]["page_faults"] == 2
+
+    def test_metadata_names_every_lane(self):
+        meta = [r for r in chrome_trace_events(recorded_log())
+                if r["ph"] == "M"]
+        thread_names = {r["tid"]: r["args"]["name"] for r in meta
+                        if r["name"] == "thread_name"}
+        assert thread_names == {0: "gpu", 1: "copy", 2: "cpu", 3: "markers"}
+
+    def test_unknown_lane_gets_its_own_row(self):
+        events = [SimEvent(lane="dma2", kind="op", label="x",
+                           start=0.0, end=1.0)]
+        records = chrome_trace_events(events)
+        (slice_,) = [r for r in records if r["ph"] == "X"]
+        assert slice_["tid"] > MARKER_TID
+        names = {r["args"]["name"] for r in records
+                 if r["ph"] == "M" and r["name"] == "thread_name"}
+        assert "dma2" in names
+
+    def test_rejects_lean_log(self):
+        with pytest.raises(ValueError, match="lean"):
+            chrome_trace_events(EventLog(record=False))
+
+
+class TestToChromeTrace:
+    def test_document_shape(self):
+        doc = to_chrome_trace(recorded_log())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        json.dumps(doc)  # must be JSON-able as-is
+
+    def test_save_round_trips(self, tmp_path):
+        out = tmp_path / "sub" / "run.trace.json"
+        save_chrome_trace(out, recorded_log())
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"] == chrome_trace_events(recorded_log())
+
+
+@pytest.mark.parametrize("engine_name", registry.available())
+class TestEveryEngineExports:
+    def test_valid_chrome_trace(self, engine_name, tmp_path):
+        w = make_workload("FK", "BFS", scale=TEST_SCALE)
+        res = run_workload(w, engine_name, record_events=True)
+        out = save_chrome_trace(tmp_path / f"{engine_name}.json", res)
+        doc = json.loads(out.read_text())
+        slices = [r for r in doc["traceEvents"] if r["ph"] == "X"]
+        assert slices, f"{engine_name} produced no timeline slices"
+        for r in slices:
+            assert r["ts"] >= 0 and r["dur"] >= 0
+            assert r["pid"] == 0 and isinstance(r["tid"], int)
+        assert doc["otherData"]["engine"] == res.engine
+        assert doc["otherData"]["algorithm"] == "BFS"
+
+    def test_lean_run_refuses_export(self, engine_name):
+        w = make_workload("FK", "BFS", scale=TEST_SCALE)
+        res = run_workload(w, engine_name)
+        with pytest.raises(ValueError, match="record_events"):
+            to_chrome_trace(res)
+
+
+class TestTraceCLI:
+    def test_trace_subcommand_writes_valid_json(self, tmp_path, capsys):
+        out = tmp_path / "fk_bfs.trace.json"
+        main(["trace", "FK", "BFS", "--engine", "Subway",
+              "--scale", "5e-5", "-o", str(out)])
+        doc = json.loads(out.read_text())
+        assert any(r["ph"] == "X" for r in doc["traceEvents"])
+        assert doc["otherData"]["engine"] == "Subway"
+        printed = capsys.readouterr().out
+        assert "events" in printed and str(out) in printed
