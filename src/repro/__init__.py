@@ -42,6 +42,7 @@ the grid runner automatically.
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.gpusim.device import GPUSpec, SimulatedGPU
+from repro.gpusim.faults import FaultPlan, standard_plan
 from repro.engines.base import Engine, IterationRecord, RunResult
 from repro.engines.partition_based import PartitionEngine
 from repro.engines.uvm_engine import UVMEngine
@@ -70,6 +71,9 @@ __all__ = [
     "AsceticEngine",
     "AsceticConfig",
     "registry",
+    # chaos mode
+    "FaultPlan",
+    "standard_plan",
     # batch execution
     "RunSpec",
     "ResultCache",

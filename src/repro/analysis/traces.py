@@ -34,7 +34,7 @@ import numpy as np
 from repro.engines.base import RunResult
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import GPUSpec
-from repro.gpusim.events import EventLog, SimEvent
+from repro.gpusim.events import FAULT_KINDS, EventLog, SimEvent
 
 __all__ = [
     "AccessTrace",
@@ -224,7 +224,10 @@ def chrome_trace_events(source: TraceSource) -> List[Dict[str, Any]]:
             "name": e.label or e.kind, "ph": "X",
             "ts": e.start * 1e6, "dur": e.duration * 1e6,
             "pid": 0, "tid": tid,
-            "cat": e.phase or e.kind, "args": args,
+            # Fault/retry slices keep their own category even inside a
+            # phase, so Perfetto can colour and filter chaos activity.
+            "cat": e.kind if e.kind in FAULT_KINDS else (e.phase or e.kind),
+            "args": args,
         })
     return out
 

@@ -9,6 +9,7 @@ Exposes the experiment harness without writing Python::
     repro sweep-ratio --dataset FK --algo CC        # Fig.-10 style sweep
     repro trace FK BFS --engine Ascetic -o run.json # Perfetto timeline
     repro grid --jobs 4                             # full 4x4x4 grid, cached
+    repro chaos FK BFS --engine Subway --seed 7     # fault-injected run
 
 Every command prints the same fixed-width reports the benchmarks produce.
 ``grid`` (and ``compare``/``sweep-ratio`` with ``--jobs``) go through
@@ -138,6 +139,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-cell wall-clock budget in seconds")
     g_p.add_argument("--retries", type=int, default=1,
                      help="extra attempts for a failing cell (default 1)")
+
+    ch_p = sub.add_parser(
+        "chaos",
+        help="run one engine under the standard fault plan and check the "
+             "result against the fault-free baseline",
+    )
+    ch_p.add_argument("dataset", choices=sorted(DATASETS),
+                      help="Table-3 dataset abbreviation")
+    ch_p.add_argument("algo", choices=ALGOS, help="vertex program")
+    ch_p.add_argument("--engine", default="Ascetic", choices=engine_choices)
+    ch_p.add_argument("--seed", type=int, default=0,
+                      help="fault-injector seed (default 0)")
+    ch_p.add_argument("--scale", type=float, default=BENCH_SCALE,
+                      help=f"dataset down-scale (default {BENCH_SCALE:g})")
+    ch_p.add_argument("--memory-bytes", type=int, default=None,
+                      help="override the (scaled) device capacity")
     return p
 
 
@@ -248,6 +265,48 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import hashlib
+    import json
+
+    import numpy as np
+
+    from repro.gpusim.events import validate_log
+    from repro.gpusim.faults import standard_plan
+    from repro.harness.persistence import result_to_payload
+
+    w = make_workload(args.dataset, args.algo, scale=args.scale,
+                      memory_bytes=args.memory_bytes)
+    baseline = run_workload(w, args.engine)
+    chaos = run_workload(w, args.engine, record_events=True,
+                         fault_plan=standard_plan(), seed=args.seed)
+    validate_log(chaos.event_log, metrics=chaos.metrics,
+                 horizon=chaos.elapsed_seconds)
+    print(chaos.summary())
+    rows = [[k, f"{v:g}"] for k, v in sorted(chaos.extra.items())
+            if k.startswith("fault_")]
+    rows += [
+        ["transfer_retries", f"{chaos.metrics.transfer_retries:g}"],
+        ["kernel_aborts", f"{chaos.metrics.kernel_aborts:g}"],
+        ["retry_seconds", f"{chaos.metrics.retry_seconds:.4g}"],
+        ["slowdown vs fault-free",
+         f"{chaos.elapsed_seconds / baseline.elapsed_seconds:.2f}x"],
+    ]
+    print(format_table(["quantity", "value"], rows,
+                       title=f"Chaos — {args.engine} on "
+                             f"{args.dataset}/{args.algo}, seed {args.seed}"))
+    blob = json.dumps(result_to_payload(chaos), sort_keys=True,
+                      separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+    print(f"digest: {digest}")
+    if not np.array_equal(chaos.values, baseline.values):
+        print("error: chaos run diverged from the fault-free baseline",
+              file=sys.stderr)
+        return 1
+    print("values identical to fault-free baseline")
+    return 0
+
+
 def _cmd_grid(args) -> int:
     engines = tuple(args.engines) if args.engines else registry.available()
     specs = grid_specs(args.datasets, args.algos, engines, scale=args.scale)
@@ -292,6 +351,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "grid":
         return _cmd_grid(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -130,15 +130,80 @@ class AsceticEngine(Engine):
         max_iterations: int | None = None,
         data_scale: float = 1.0,
         record_events: bool = False,
+        fault_plan=None,
+        seed: int = 0,
     ) -> None:
         super().__init__(spec, record_spans, max_iterations, data_scale,
-                         record_events)
+                         record_events, fault_plan, seed)
         self.config = config or AsceticConfig()
+
+    # ----------------------------------------------------------- resilience
+    def _alloc_static_region(self, gpu: SimulatedGPU, want: int,
+                             chunk_bytes: int):
+        """Allocate the Static Region with graceful degradation.
+
+        The ladder: an *injected* (transient) failure gets one plain retry
+        at the same size; any further failure halves the request
+        (chunk-aligned, additionally capped by the allocator's reported
+        ``available`` for real capacity pressure) — reusing the Eq. 3
+        shrink direction — until it either fits or reaches zero bytes,
+        Subway-style pure on-demand streaming.  The zero-byte request
+        always succeeds, so the ladder terminates and real exhaustion can
+        only propagate for the empty-region case that cannot be satisfied
+        at all.
+        """
+        from repro.gpusim.memory import GPUOutOfMemory
+
+        nbytes = (want // chunk_bytes) * chunk_bytes
+        retried = False
+        while True:
+            if 0 < nbytes < chunk_bytes:
+                nbytes = 0
+            try:
+                return gpu.memory.alloc("static_region", nbytes)
+            except GPUOutOfMemory as exc:
+                if exc.injected and not retried:
+                    retried = True
+                    continue
+                if nbytes == 0:
+                    raise
+                limit = nbytes // 2
+                if not exc.injected and exc.available is not None:
+                    limit = min(limit, exc.available)
+                nbytes = (limit // chunk_bytes) * chunk_bytes
+
+    def _release_memory(self, gpu: SimulatedGPU, graph: CSRGraph,
+                        need: int) -> int:
+        """Squeeze response: shrink static first (Eq. 3 direction), then
+        the on-demand region down to a one-chunk floor."""
+        freed = 0
+        chunk = self._region.chunk_bytes
+        if need > freed and self._static_alloc.nbytes > 0:
+            give = min(self._static_alloc.nbytes, need - freed)
+            give_chunks = -(-give // chunk)
+            new_static = max(self._static_alloc.nbytes - give_chunks * chunk, 0)
+            self._region.shrink_to(new_static)
+            real = self._region.capacity_chunks * chunk
+            if real < self._static_alloc.nbytes:
+                freed += self._static_alloc.nbytes - real
+                gpu.memory.resize(self._static_alloc, real)
+                gpu.events.marker(
+                    "static-shrink", "squeeze", gpu.clock.now,
+                    extra=(("static_bytes", float(real)),))
+        if freed < need and self._ondemand_alloc.nbytes > chunk:
+            give = min(self._ondemand_alloc.nbytes - chunk, need - freed)
+            gpu.memory.resize(self._ondemand_alloc,
+                              self._ondemand_alloc.nbytes - give)
+            freed += give
+            gpu.events.marker(
+                "ondemand-shrink", "squeeze", gpu.clock.now,
+                extra=(("ondemand_bytes", float(self._ondemand_alloc.nbytes)),))
+        return freed
 
     # ----------------------------------------------------------- lifecycle
     def _prepare(self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram) -> None:
         cfg = self.config
-        gpu.memory.alloc("vertex_state", self._vertex_state_bytes(graph))
+        self._alloc_retry(gpu, "vertex_state", self._vertex_state_bytes(graph))
         gpu.h2d(self._vertex_state_bytes(graph), label="vertex-state")
         available = gpu.memory.available
         d = graph.edge_array_bytes
@@ -163,8 +228,20 @@ class AsceticEngine(Engine):
             fragment_chunks=self._fragment_chunks,
         )
         real_static = self._region.capacity_chunks * chunk_bytes
-        self._static_alloc = gpu.memory.alloc("static_region", real_static)
-        self._ondemand_alloc = gpu.memory.alloc("ondemand_region", available - real_static)
+        self._static_alloc = self._alloc_static_region(gpu, real_static,
+                                                       chunk_bytes)
+        if self._static_alloc.nbytes < real_static:
+            # Degraded: the ladder granted less than Eq. 2 asked for; shrink
+            # the region to match (zero bytes = pure on-demand streaming)
+            # and hand the difference to the on-demand region.
+            self._region.shrink_to(self._static_alloc.nbytes)
+            ratio = self._static_alloc.nbytes / available if available else 0.0
+            gpu.events.marker(
+                "static-degrade", "alloc-ladder", gpu.clock.now,
+                extra=(("wanted", float(real_static)),
+                       ("granted", float(self._static_alloc.nbytes))))
+        self._ondemand_alloc = self._alloc_retry(
+            gpu, "ondemand_region", available - self._static_alloc.nbytes)
         self._hotness = HotnessTable(
             self._region.n_chunks,
             policy=cfg.policy_for(program),

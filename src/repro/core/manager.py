@@ -219,18 +219,22 @@ def _stream_aggregate(gpu: SimulatedGPU, plan, program: VertexProgram,
         t_g = gpu.cpu.submit(gather_dur, "od-gather*", after=after,
                              kind="gather")
     with gpu.phase("Ttransfer"):
-        t_x = gpu.copy.submit(
-            xfer_dur, "od-transfer*",
+        # Split as fixed + variable so chaos-mode retry/degradation applies;
+        # summed unchanged this equals xfer_dur bit for bit.
+        t_x = gpu.copy.submit_transfer(
+            n * spec.pcie.latency, payload / spec.pcie.bandwidth,
+            "od-transfer*",
             after=t_g if sequential else (t_g - gather_dur + gather_dur / n),
             kind="h2d",
             counters={"bytes_h2d": payload, "h2d_transfers": n},
+            faults=gpu.faults,
         )
     with gpu.phase("Tondemand"):
-        gpu.gpu.submit(
+        gpu.gpu.submit_kernel(
             kern_dur, "od-compute*",
             after=t_x if sequential else (t_x - xfer_dur + xfer_dur / n),
-            kind="kernel",
             counters={"kernel_launches": n, "edges_processed": charged_edges},
+            faults=gpu.faults,
         )
 
 

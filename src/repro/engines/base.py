@@ -21,6 +21,8 @@ from repro.algorithms.frontier import active_edge_count
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import GPUSpec, SimulatedGPU
 from repro.gpusim.events import EventLog
+from repro.gpusim.faults import FaultInjector, FaultPlan
+from repro.gpusim.memory import Allocation, GPUOutOfMemory
 from repro.gpusim.metrics import Metrics
 
 __all__ = ["Engine", "IterationRecord", "RunResult"]
@@ -118,9 +120,20 @@ class Engine(abc.ABC):
         paper scale (``bytes / s``), and byte-granular geometry (UVM pages,
         Ascetic chunks) shrinks by ``s`` so page/chunk *counts* match the
         paper.  ``1.0`` means the graph is at its natural size.
+    fault_plan:
+        Optional chaos-mode :class:`~repro.gpusim.faults.FaultPlan`; with
+        ``seed`` it deterministically injects transfer/kernel/allocation
+        faults and capacity squeezes that the engine must absorb.  ``None``
+        (or a null plan) is the fault-free model, bit for bit.
+    seed:
+        The run seed feeding the fault injector's RNG stream.
     """
 
     name: str = "?"
+
+    #: Engine attributes never pickled into checkpoints: user-supplied
+    #: callbacks and the checkpoint writer itself.
+    _CKPT_EXCLUDE = ("checkpoint", "iteration_hook")
 
     def __init__(
         self,
@@ -129,6 +142,8 @@ class Engine(abc.ABC):
         max_iterations: Optional[int] = None,
         data_scale: float = 1.0,
         record_events: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        seed: int = 0,
     ) -> None:
         if data_scale <= 0 or data_scale > 1.0:
             raise ValueError("data_scale must be in (0, 1]")
@@ -137,7 +152,15 @@ class Engine(abc.ABC):
         self.record_events = record_events
         self.max_iterations = max_iterations
         self.data_scale = data_scale
+        self.fault_plan = fault_plan
+        self.seed = int(seed)
         self.iteration_hook: Optional[IterationHook] = None
+        #: Optional :class:`~repro.harness.checkpoint.CheckpointWriter`;
+        #: when set, the run loop snapshots after every iteration.
+        self.checkpoint = None
+        #: Iteration the run resumed from (None = ran from scratch).
+        self.resumed_iteration: Optional[int] = None
+        self._squeeze_allocs: Dict[int, Allocation] = {}
 
     def scaled_bytes(self, nbytes: int, floor: int = 1) -> int:
         """Scale a paper-scale byte geometry down to this run's data scale."""
@@ -166,20 +189,38 @@ class Engine(abc.ABC):
         gpu.sync()
 
     # ----------------------------------------------------------- main loop
-    def run(self, graph: CSRGraph, program: VertexProgram) -> RunResult:
-        """Execute ``program`` on ``graph``; returns values + accounting."""
-        program.validate_graph(graph)
-        gpu = SimulatedGPU(
-            self.spec,
-            record_spans=self.record_spans,
-            charge_scale=1.0 / self.data_scale,
-            record_events=self.record_events,
-        )
-        state = program.init_state(graph)
-        self._prepare(gpu, graph, program)
-        gpu.sync()
+    def run(self, graph: CSRGraph, program: VertexProgram,
+            resume_from=None) -> RunResult:
+        """Execute ``program`` on ``graph``; returns values + accounting.
 
-        records: List[IterationRecord] = []
+        ``resume_from`` accepts an
+        :class:`~repro.harness.checkpoint.IterationCheckpoint` written by a
+        previous (interrupted) run of the same spec: the engine, device,
+        program state, and fault-injector RNG stream are restored bit-exactly
+        from the snapshot, ``_prepare`` is skipped, and the loop continues
+        from the next iteration — producing the same ``RunResult`` an
+        uninterrupted run would have.
+        """
+        program.validate_graph(graph)
+        if resume_from is not None:
+            gpu, state, records = self._restore(resume_from)
+        else:
+            faults = None
+            if self.fault_plan is not None and not self.fault_plan.is_null:
+                faults = FaultInjector(self.fault_plan, seed=self.seed)
+            gpu = SimulatedGPU(
+                self.spec,
+                record_spans=self.record_spans,
+                charge_scale=1.0 / self.data_scale,
+                record_events=self.record_events,
+                faults=faults,
+            )
+            state = program.init_state(graph)
+            records = []
+            self._squeeze_allocs = {}
+            self._prepare(gpu, graph, program)
+            gpu.sync()
+
         cap = self.max_iterations if self.max_iterations is not None else program.max_iterations
         cap = max(cap, 0)
         while state.active.any() and state.iteration < cap and not program.done(state):
@@ -195,6 +236,7 @@ class Engine(abc.ABC):
             # on a zero-iteration run, a phantom ``-1``) record.
             iter_index = state.iteration
             with gpu.iteration(iter_index):
+                self._service_squeezes(gpu, graph, iter_index)
                 self._iteration(gpu, graph, program, state)
             program.step(graph, state)
             gpu.sync()
@@ -208,6 +250,8 @@ class Engine(abc.ABC):
                     t_end=gpu.clock.now,
                 )
             )
+            if self.checkpoint is not None:
+                self.checkpoint.save(self, gpu, graph, program, state, records)
         self._finish(gpu, graph, program, state)
 
         result = RunResult(
@@ -223,8 +267,107 @@ class Engine(abc.ABC):
             extra={"dataset_bytes": graph.dataset_bytes / self.data_scale},
             event_log=gpu.events if self.record_events else None,
         )
+        if gpu.faults is not None:
+            for key, n in gpu.faults.counts.items():
+                result.extra[f"fault_{key}"] = float(n)
         self._report_extra(result, gpu, graph)
         return result
+
+    # -------------------------------------------------------- checkpointing
+    def snapshot_state(self, gpu: SimulatedGPU, state: ProgramState,
+                       records: List[IterationRecord]) -> bytes:
+        """Pickle everything a bit-exact resume needs into one opaque blob.
+
+        A *single* pickle of (engine attrs, gpu, state, records) preserves
+        shared object identity — the engine's ``Allocation`` handles stay
+        the same objects ``DeviceMemory`` tracks, the lanes keep sharing
+        one clock and event log, and the fault injector's RNG stream rides
+        along — so the restored run continues exactly where it stopped.
+        """
+        import pickle
+
+        payload = {
+            "engine": {k: v for k, v in self.__dict__.items()
+                       if k not in self._CKPT_EXCLUDE},
+            "gpu": gpu,
+            "state": state,
+            "records": records,
+        }
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _restore(self, checkpoint):
+        """Rehydrate ``snapshot_state``'s blob; returns (gpu, state, records)."""
+        import pickle
+
+        payload = pickle.loads(checkpoint.blob)
+        self.__dict__.update(payload["engine"])
+        self.resumed_iteration = checkpoint.iteration
+        return payload["gpu"], payload["state"], payload["records"]
+
+    # ----------------------------------------------------------- resilience
+    def _alloc_retry(self, gpu: SimulatedGPU, name: str, nbytes: int) -> Allocation:
+        """``gpu.memory.alloc`` that absorbs *injected* transient failures.
+
+        Real capacity exhaustion propagates unchanged — only chaos-mode
+        failures (``exc.injected``) are retried, bounded by the plan's
+        ``max_retries``.
+        """
+        attempt = 0
+        while True:
+            try:
+                return gpu.memory.alloc(name, nbytes)
+            except GPUOutOfMemory as exc:
+                if not exc.injected or attempt >= gpu.faults.plan.max_retries:
+                    raise
+                attempt += 1
+
+    def _service_squeezes(self, gpu: SimulatedGPU, graph: CSRGraph,
+                          iteration: int) -> None:
+        """Apply/release the plan's capacity squeezes for this iteration.
+
+        A squeeze is a foreign allocation the engine must make room for:
+        releases are processed first (so back-to-back squeezes do not
+        stack), then each starting squeeze asks ``_release_memory`` to
+        free what is missing and claims ``min(want, available)`` — the
+        clamp guarantees no engine ever dies on an unsatisfiable squeeze.
+        """
+        faults = gpu.faults
+        if faults is None:
+            return
+        for idx, _sq in faults.squeeze_releases(iteration):
+            alloc = self._squeeze_allocs.pop(idx, None)
+            if alloc is not None:
+                gpu.memory.free(alloc)
+                gpu.events.marker("squeeze-release", alloc.name, gpu.clock.now,
+                                  extra=(("nbytes", float(alloc.nbytes)),))
+                self._squeeze_released(gpu, graph)
+        for idx, sq in faults.squeeze_starts(iteration):
+            want = sq.resolve(gpu.memory.capacity)
+            if want <= 0:
+                continue
+            if want > gpu.memory.available:
+                self._release_memory(gpu, graph, want - gpu.memory.available)
+            granted = min(want, gpu.memory.available)
+            if granted <= 0:
+                continue
+            alloc = gpu.memory.alloc(f"chaos-squeeze-{idx}", granted)
+            self._squeeze_allocs[idx] = alloc
+            gpu.events.marker("squeeze", alloc.name, gpu.clock.now,
+                              extra=(("nbytes", float(granted)),
+                                     ("wanted", float(want))))
+
+    def _release_memory(self, gpu: SimulatedGPU, graph: CSRGraph,
+                        need: int) -> int:
+        """Give back up to ``need`` bytes of device memory; returns bytes freed.
+
+        Engines override this with their degradation policy (shrink the
+        static region, re-partition, evict UVM pages...).  The base engine
+        has nothing it can safely release.
+        """
+        return 0
+
+    def _squeeze_released(self, gpu: SimulatedGPU, graph: CSRGraph) -> None:
+        """Hook: a squeeze ended and its bytes are available again."""
 
     # ------------------------------------------------------------- helpers
     def _report_extra(self, result: RunResult, gpu: SimulatedGPU, graph: CSRGraph) -> None:

@@ -39,10 +39,10 @@ class PartitionEngine(Engine):
     name = "PT"
 
     def __init__(self, spec=None, record_spans=False, max_iterations=None,
-                 data_scale=1.0, record_events=False,
+                 data_scale=1.0, record_events=False, fault_plan=None, seed=0,
                  double_buffer: bool = False, pinned_partitions: int = 0):
         super().__init__(spec, record_spans, max_iterations, data_scale,
-                         record_events)
+                         record_events, fault_plan, seed)
         if pinned_partitions < 0:
             raise ValueError("pinned_partitions must be non-negative")
         self.double_buffer = double_buffer
@@ -54,21 +54,31 @@ class PartitionEngine(Engine):
     def _prepare(self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram) -> None:
         from repro.gpusim.memory import GPUOutOfMemory
 
-        gpu.memory.alloc("vertex_state", self._vertex_state_bytes(graph))
+        self._alloc_retry(gpu, "vertex_state", self._vertex_state_bytes(graph))
         budget = gpu.memory.available
         if budget <= 0:
-            raise GPUOutOfMemory("no device memory left for a partition buffer")
+            raise GPUOutOfMemory(
+                "no device memory left for a partition buffer",
+                name="partition_buffer", requested=1, available=budget,
+                capacity=gpu.memory.capacity, live=gpu.memory.live_allocations(),
+            )
         # Pinned partitions carve their share off the streaming budget.
         n_slots = (2 if self.double_buffer else 1) + self.pinned_partitions
         part_budget = budget // n_slots
         if part_budget <= 0:
-            raise GPUOutOfMemory("device memory too small for the buffer layout")
+            raise GPUOutOfMemory(
+                "device memory too small for the buffer layout",
+                name="partition_buffer", requested=n_slots, available=budget,
+                capacity=gpu.memory.capacity, live=gpu.memory.live_allocations(),
+            )
         self._parts: List[EdgePartition] = partition_by_bytes(graph, part_budget)
         self._n_pinned = min(self.pinned_partitions, len(self._parts))
         buf = min(part_budget, max(p.nbytes for p in self._parts))
-        gpu.memory.alloc("partition_buffer", buf)
+        self._part_allocs = [self._alloc_retry(gpu, "partition_buffer", buf)]
         if self.double_buffer:
-            gpu.memory.alloc("partition_buffer_2", buf)
+            self._part_allocs.append(
+                self._alloc_retry(gpu, "partition_buffer_2", buf))
+        self._part_floor = max(buf // 8, 1)
         # Vertex state (values + offsets + bitmaps) is shipped once, then
         # the pinned partitions (their transfer counts, like any prestore).
         gpu.h2d(self._vertex_state_bytes(graph), label="vertex-state")
@@ -76,6 +86,33 @@ class PartitionEngine(Engine):
         if pinned_bytes:
             gpu.memory.alloc("pinned_partitions", pinned_bytes)
             gpu.h2d(pinned_bytes, label="pinned-partitions")
+
+    def _release_memory(self, gpu: SimulatedGPU, graph: CSRGraph,
+                        need: int) -> int:
+        """Re-partition with smaller streaming buffers to free bytes.
+
+        With pinned partitions the layout is fixed (their allocation is
+        sized to the current partitioning), so nothing is safely
+        releasable — the squeeze clamp absorbs the difference.
+        """
+        if self._n_pinned > 0:
+            return 0
+        n_bufs = len(self._part_allocs)
+        cur = self._part_allocs[0].nbytes
+        target = max(cur - (-(-need // n_bufs)), self._part_floor)
+        if target >= cur:
+            return 0
+        parts = partition_by_bytes(graph, target)
+        buf = min(target, max(p.nbytes for p in parts))
+        freed = 0
+        for a in self._part_allocs:
+            freed += a.nbytes - buf
+            gpu.memory.resize(a, buf)
+        self._parts = parts
+        gpu.events.marker("repartition", "pt-squeeze", gpu.clock.now,
+                          extra=(("freed", float(freed)),
+                                 ("n_partitions", float(len(parts)))))
+        return freed
 
     def _iteration(
         self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram, state: ProgramState

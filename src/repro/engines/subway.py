@@ -49,10 +49,10 @@ class SubwayEngine(Engine):
     name = "Subway"
 
     def __init__(self, spec=None, record_spans=False, max_iterations=None,
-                 data_scale=1.0, record_events=False, pipelined: bool = False,
-                 materialize: bool = False):
+                 data_scale=1.0, record_events=False, fault_plan=None, seed=0,
+                 pipelined: bool = False, materialize: bool = False):
         super().__init__(spec, record_spans, max_iterations, data_scale,
-                         record_events)
+                         record_events, fault_plan, seed)
         self.pipelined = pipelined
         #: Physically build each iteration's SubCSR (the buffer a real
         #: system DMAs) instead of only costing it.  Slower; the staged
@@ -62,23 +62,50 @@ class SubwayEngine(Engine):
         self.materialize = materialize
 
     def _prepare(self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram) -> None:
-        gpu.memory.alloc("vertex_state", self._vertex_state_bytes(graph))
+        from repro.gpusim.memory import GPUOutOfMemory
+
+        self._alloc_retry(gpu, "vertex_state", self._vertex_state_bytes(graph))
         budget = gpu.memory.available
         if budget <= 0:
-            from repro.gpusim.memory import GPUOutOfMemory
-
-            raise GPUOutOfMemory("no device memory left for the subgraph buffer")
+            raise GPUOutOfMemory(
+                "no device memory left for the subgraph buffer",
+                name="subgraph_buffer", requested=1, available=budget,
+                capacity=gpu.memory.capacity, live=gpu.memory.live_allocations(),
+            )
         if self.pipelined:
             # Two staging halves so one can fill while the other computes.
-            self._staging_bytes = budget // 2
-            gpu.memory.alloc("subgraph_buffer_a", self._staging_bytes)
-            gpu.memory.alloc("subgraph_buffer_b", budget - self._staging_bytes)
+            allocs = [
+                self._alloc_retry(gpu, "subgraph_buffer_a", budget // 2),
+                self._alloc_retry(gpu, "subgraph_buffer_b", budget - budget // 2),
+            ]
         else:
-            self._staging_bytes = budget
-            gpu.memory.alloc("subgraph_buffer", budget)
+            allocs = [self._alloc_retry(gpu, "subgraph_buffer", budget)]
+        # Degradation floors: a squeeze may shrink the staging buffers, but
+        # never below 1/8 of their original size (rounds just multiply).
+        self._staging_allocs = [(a, max(a.nbytes // 8, 1)) for a in allocs]
+        self._staging_bytes = max(min(a.nbytes for a in allocs), 1)
         gpu.h2d(self._vertex_state_bytes(graph), label="vertex-state")
         self._sum_iteration_bytes = 0
         self._n_iterations = 0
+
+    def _release_memory(self, gpu: SimulatedGPU, graph: CSRGraph,
+                        need: int) -> int:
+        """Shrink the staging buffer(s) toward their floors to free bytes."""
+        freed = 0
+        for alloc, floor in self._staging_allocs:
+            if freed >= need:
+                break
+            give = min(alloc.nbytes - floor, need - freed)
+            if give > 0:
+                gpu.memory.resize(alloc, alloc.nbytes - give)
+                freed += give
+        if freed:
+            self._staging_bytes = max(
+                min(a.nbytes for a, _ in self._staging_allocs), 1)
+            gpu.events.marker("staging-shrink", "subway", gpu.clock.now,
+                              extra=(("freed", float(freed)),
+                                     ("staging_bytes", float(self._staging_bytes))))
+        return freed
 
     def _iteration(
         self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram, state: ProgramState

@@ -44,10 +44,12 @@ class UVMEngine(Engine):
         max_iterations: int | None = None,
         data_scale: float = 1.0,
         record_events: bool = False,
+        fault_plan=None,
+        seed: int = 0,
         pin_fraction: float = 0.25,
     ) -> None:
         super().__init__(spec, record_spans, max_iterations, data_scale,
-                         record_events)
+                         record_events, fault_plan, seed)
         if not 0.0 <= pin_fraction <= 1.0:
             raise ValueError("pin_fraction must be in [0, 1]")
         self.pin_fraction = pin_fraction
@@ -58,9 +60,9 @@ class UVMEngine(Engine):
         self.trace = None
 
     def _prepare(self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram) -> None:
-        gpu.memory.alloc("vertex_state", self._vertex_state_bytes(graph))
+        self._alloc_retry(gpu, "vertex_state", self._vertex_state_bytes(graph))
         capacity = gpu.memory.available
-        gpu.memory.alloc("uvm_resident_pool", capacity)
+        self._pool_alloc = self._alloc_retry(gpu, "uvm_resident_pool", capacity)
         # Page geometry scales with the data so the page *count* — and with
         # it fault counts and LRU behaviour — matches the paper-scale run.
         self._uvm = UVMMemory(
@@ -82,6 +84,25 @@ class UVMEngine(Engine):
             if n_pin > 0:
                 moved = self._uvm.advise_pin(np.arange(n_pin, dtype=np.int64))
                 gpu.h2d(moved, label="memadvise-prefetch")
+
+    def _release_memory(self, gpu: SimulatedGPU, graph: CSRGraph,
+                        need: int) -> int:
+        """Shrink the resident pool (evicting LRU pages) to free bytes.
+
+        The pool never shrinks below the pinned pages plus one streaming
+        page — the pager must keep one slot to make progress.
+        """
+        page = self._uvm.page_size
+        floor_pages = self._uvm.pinned_pages + 1
+        cur_pages = self._pool_alloc.nbytes // page
+        give_pages = min(-(-need // page), cur_pages - floor_pages)
+        if give_pages <= 0:
+            return 0
+        new_pages = cur_pages - give_pages
+        self._uvm.shrink_capacity(new_pages * page)
+        freed = self._pool_alloc.nbytes - new_pages * page
+        gpu.memory.resize(self._pool_alloc, new_pages * page)
+        return freed
 
     def _touched_pages(self, graph: CSRGraph, active: np.ndarray) -> np.ndarray:
         """Unique page ids the active vertices' edge ranges cover (vectorized)."""
@@ -139,12 +160,13 @@ class UVMEngine(Engine):
         done = gpu.clock.now
         if n_edges > 0 or kernel > 0:
             with gpu.phase("Tcompute"):
-                done = gpu.gpu.submit(
-                    kernel, label="uvm-kernel", kind="kernel",
+                done = gpu.gpu.submit_kernel(
+                    kernel, label="uvm-kernel",
                     counters={
                         "kernel_launches": 1 if n_edges else 0,
                         "edges_processed": int(n_edges * gpu.charge_scale),
                     },
+                    faults=gpu.faults,
                 )
         if stall > 0 or fault_batches or charged_bytes:
             with gpu.phase("Tfault"):

@@ -17,7 +17,12 @@ GPU memory control, so this package models the platform deterministically:
 * :mod:`repro.gpusim.events` — the event-sourced accounting core: every
   submit emits one :class:`~repro.gpusim.events.SimEvent`, and metrics,
   phases, spans, and idle accounting are folds over the per-run
-  :class:`~repro.gpusim.events.EventLog`.
+  :class:`~repro.gpusim.events.EventLog`;
+* :mod:`repro.gpusim.faults` — deterministic chaos mode: a seeded
+  :class:`~repro.gpusim.faults.FaultPlan` /
+  :class:`~repro.gpusim.faults.FaultInjector` pair injecting transfer
+  faults, link degradation, allocation failures, capacity squeezes, and
+  kernel faults into the simulation (see ``docs/robustness.md``).
 
 Every engine decision (what to move, when, overlapped with what) lives in the
 engines; this package only turns (bytes, edges) into virtual seconds and
@@ -37,6 +42,16 @@ from repro.gpusim.events import (
     fold_spans,
     idle_breakdown,
     validate_log,
+)
+from repro.gpusim.events import FAULT_KINDS
+from repro.gpusim.faults import (
+    CapacitySqueeze,
+    FaultInjector,
+    FaultPlan,
+    KernelFaultError,
+    LinkDegradation,
+    TransferFaultError,
+    standard_plan,
 )
 from repro.gpusim.metrics import Metrics
 from repro.gpusim.memory import DeviceMemory, Allocation, GPUOutOfMemory
@@ -61,6 +76,14 @@ __all__ = [
     "fold_lane_stats",
     "idle_breakdown",
     "validate_log",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultInjector",
+    "LinkDegradation",
+    "CapacitySqueeze",
+    "TransferFaultError",
+    "KernelFaultError",
+    "standard_plan",
     "Metrics",
     "DeviceMemory",
     "Allocation",

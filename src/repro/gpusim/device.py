@@ -102,14 +102,19 @@ class SimulatedGPU:
 
     def __init__(self, spec: GPUSpec, record_spans: bool = False,
                  charge_scale: float = 1.0,
-                 record_events: bool = False) -> None:
+                 record_events: bool = False,
+                 faults=None) -> None:
         if charge_scale <= 0:
             raise ValueError("charge_scale must be positive")
         self.spec = spec
         self.charge_scale = charge_scale
         self.clock = VirtualClock(record=record_spans)
-        self.memory = DeviceMemory(spec.memory_bytes)
         self.events = EventLog(record=record_events)
+        #: Optional chaos-mode :class:`~repro.gpusim.faults.FaultInjector`;
+        #: None means the fault-free model, bit for bit.
+        self.faults = faults
+        self.memory = DeviceMemory(spec.memory_bytes, faults=faults,
+                                   events=self.events, clock=self.clock)
         self.gpu = Lane("gpu", self.clock, log=self.events)
         self.copy = Lane("copy", self.clock, log=self.events)
         self.cpu = Lane("cpu", self.clock, log=self.events)
@@ -163,11 +168,16 @@ class SimulatedGPU:
         if nbytes <= 0:
             return self.copy.submit(0.0, label, after=after)
         charged = self._scale(nbytes)
-        dur = self.spec.pcie.streaming_seconds(charged, n_requests)
-        return self.copy.submit(
-            dur, label, after=after, kind="h2d",
-            counters={"bytes_h2d": self.spec.pcie.payload_bytes(charged),
-                      "h2d_transfers": 1},
+        payload = self.spec.pcie.payload_bytes(charged)
+        # Split into fixed latency + streamed payload so chaos-mode link
+        # degradation can slow only the streamed part; summed unchanged,
+        # this reproduces streaming_seconds() bit for bit.
+        fixed = self.spec.pcie.latency if payload else 0.0
+        return self.copy.submit_transfer(
+            fixed, payload / self.spec.pcie.bandwidth, label, after=after,
+            kind="h2d",
+            counters={"bytes_h2d": payload, "h2d_transfers": 1},
+            faults=self.faults,
         )
 
     def d2h(self, nbytes: int, label: str = "d2h", after: float = 0.0) -> float:
@@ -175,11 +185,13 @@ class SimulatedGPU:
         if nbytes <= 0:
             return self.copy.submit(0.0, label, after=after)
         charged = self._scale(nbytes)
-        dur = self.spec.pcie.transfer_seconds(charged)
-        return self.copy.submit(
-            dur, label, after=after, kind="d2h",
-            counters={"bytes_d2h": self.spec.pcie.payload_bytes(charged),
-                      "d2h_transfers": 1},
+        payload = self.spec.pcie.payload_bytes(charged)
+        fixed = self.spec.pcie.latency if payload else 0.0
+        return self.copy.submit_transfer(
+            fixed, payload / self.spec.pcie.bandwidth, label, after=after,
+            kind="d2h",
+            counters={"bytes_d2h": payload, "d2h_transfers": 1},
+            faults=self.faults,
         )
 
     # -------------------------------------------------------------- kernels
@@ -190,9 +202,10 @@ class SimulatedGPU:
             return self.gpu.submit(0.0, label, after=after)
         charged = self._scale(n_edges)
         dur = self.spec.kernel.edge_kernel_seconds(charged, atomics=atomics)
-        return self.gpu.submit(
-            dur, label, after=after, kind="kernel",
+        return self.gpu.submit_kernel(
+            dur, label, after=after,
             counters={"kernel_launches": 1, "edges_processed": charged},
+            faults=self.faults,
         )
 
     def vertex_scan(self, n_vertices: int, passes: int = 1, label: str = "scan",
@@ -201,9 +214,10 @@ class SimulatedGPU:
         if n_vertices <= 0 or passes <= 0:
             return self.gpu.submit(0.0, label, after=after)
         dur = self.spec.kernel.vertex_scan_seconds(self._scale(n_vertices), passes)
-        return self.gpu.submit(
-            dur, label, after=after, kind="kernel",
+        return self.gpu.submit_kernel(
+            dur, label, after=after,
             counters={"kernel_launches": 1},
+            faults=self.faults,
         )
 
     # ------------------------------------------------------------------ CPU

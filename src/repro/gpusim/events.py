@@ -44,6 +44,7 @@ __all__ = [
     "LaneStats",
     "IdleBreakdown",
     "COUNTER_FIELDS",
+    "FAULT_KINDS",
     "fold_metrics",
     "fold_spans",
     "fold_phase_seconds",
@@ -64,7 +65,19 @@ COUNTER_FIELDS: Tuple[str, ...] = (
     "fault_batches",
     "pages_migrated",
     "pages_evicted",
+    "transfer_faults",
+    "transfer_retries",
+    "kernel_aborts",
+    "retry_seconds",
 )
+
+#: Event kinds emitted by chaos-mode fault injection and recovery.  Lane
+#: time under these kinds is *wasted* work: :func:`idle_breakdown` reports
+#: it as the ``retry`` bucket, and the Chrome-trace export categorizes
+#: them separately so faults stand out in a Perfetto timeline.
+FAULT_KINDS = frozenset({
+    "h2d-fault", "d2h-fault", "backoff", "kernel-abort",
+})
 
 
 @dataclass(frozen=True)
@@ -98,6 +111,10 @@ class SimEvent:
     fault_batches: int = 0
     pages_migrated: int = 0
     pages_evicted: int = 0
+    transfer_faults: int = 0
+    transfer_retries: int = 0
+    kernel_aborts: int = 0
+    retry_seconds: float = 0.0
     extra: Tuple[Tuple[str, float], ...] = ()
 
     @property
@@ -163,6 +180,11 @@ class IdleBreakdown:
     into *lead* (before the lane's first op — startup, not a stall),
     *stall* (gaps between ops — the §2.2 "GPU waits for the CPU gather"
     signal), and *tail* (after the lane's last op).
+
+    ``retry`` is chaos-mode's wasted-work bucket: lane time occupied by
+    fault-recovery events (failed attempts, backoff delays — the
+    :data:`FAULT_KINDS`).  It is a slice *of* ``busy``, not of ``idle``:
+    the lane was occupied, just not usefully.
     """
 
     lead: float
@@ -170,6 +192,7 @@ class IdleBreakdown:
     tail: float
     busy: float
     horizon: float
+    retry: float = 0.0
 
     @property
     def idle(self) -> float:
@@ -292,6 +315,14 @@ def _apply(metrics: Metrics, event: SimEvent) -> None:
         metrics.pages_migrated += event.pages_migrated
     if event.pages_evicted:
         metrics.pages_evicted += event.pages_evicted
+    if event.transfer_faults:
+        metrics.transfer_faults += event.transfer_faults
+    if event.transfer_retries:
+        metrics.transfer_retries += event.transfer_retries
+    if event.kernel_aborts:
+        metrics.kernel_aborts += event.kernel_aborts
+    if event.retry_seconds:
+        metrics.retry_seconds += event.retry_seconds
     if event.phase is not None and event.end > event.start:
         metrics.add_phase(event.phase, event.end - event.start)
 
@@ -359,6 +390,11 @@ def idle_breakdown(
     ops = sorted(
         ((e.start, e.end) for e in events if e.lane == lane and e.end > e.start),
     )
+    retry = sum(
+        min(e.end, horizon) - min(e.start, horizon)
+        for e in events
+        if e.lane == lane and e.end > e.start and e.kind in FAULT_KINDS
+    )
     if horizon < 0:
         raise ValueError(f"negative horizon {horizon}")
     if not ops:
@@ -375,7 +411,7 @@ def idle_breakdown(
         prev_end = max(prev_end, end)
     tail = max(horizon - prev_end, 0.0)
     return IdleBreakdown(lead=lead, stall=stall, tail=tail,
-                         busy=busy, horizon=horizon)
+                         busy=busy, horizon=horizon, retry=retry)
 
 
 # -------------------------------------------------------------- validation

@@ -29,6 +29,15 @@ class Metrics:
     pages_evicted: int = 0
     kernel_launches: int = 0
     edges_processed: int = 0
+    #: Failed transfer attempts injected by a fault plan (chaos mode).
+    transfer_faults: int = 0
+    #: Transfer attempts that had to be repeated before succeeding.
+    transfer_retries: int = 0
+    #: Kernel launches aborted and re-issued (chaos mode).
+    kernel_aborts: int = 0
+    #: Virtual seconds burned on failed attempts and backoff delays —
+    #: the chaos-mode ``retry`` bucket.
+    retry_seconds: float = 0.0
     #: Per-phase accumulated virtual seconds, e.g. ``Tsr``, ``Tfilling``,
     #: ``Ttransfer``, ``Tondemand`` for Fig. 10.
     phase_seconds: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
@@ -50,6 +59,10 @@ class Metrics:
         self.pages_evicted += other.pages_evicted
         self.kernel_launches += other.kernel_launches
         self.edges_processed += other.edges_processed
+        self.transfer_faults += other.transfer_faults
+        self.transfer_retries += other.transfer_retries
+        self.kernel_aborts += other.kernel_aborts
+        self.retry_seconds += other.retry_seconds
         for phase, sec in other.phase_seconds.items():
             self.phase_seconds[phase] += sec
         return self
@@ -66,6 +79,10 @@ class Metrics:
             "pages_evicted": self.pages_evicted,
             "kernel_launches": self.kernel_launches,
             "edges_processed": self.edges_processed,
+            "transfer_faults": self.transfer_faults,
+            "transfer_retries": self.transfer_retries,
+            "kernel_aborts": self.kernel_aborts,
+            "retry_seconds": self.retry_seconds,
         }
         for phase, sec in sorted(self.phase_seconds.items()):
             d[f"phase:{phase}"] = sec

@@ -92,6 +92,11 @@ class UVMMemory:
     def resident_bytes(self) -> int:
         return self._n_resident * self.page_size
 
+    @property
+    def pinned_pages(self) -> int:
+        """Number of pages pinned via :meth:`advise_pin` (never evicted)."""
+        return int(np.count_nonzero(self._pinned))
+
     def is_resident(self, pages: np.ndarray) -> np.ndarray:
         return self._resident[pages]
 
@@ -237,6 +242,33 @@ class UVMMemory:
                    extra=(("pages", float(missing.size)),
                           ("bytes", float(missing.size * self.page_size))))
         return int(missing.size) * self.page_size
+
+    def shrink_capacity(self, capacity_bytes: int) -> int:
+        """Shrink the resident-pool capacity (chaos-mode capacity squeeze).
+
+        Evicts LRU pages until the resident set fits the new capacity and
+        records the evictions in the event log (one ``uvm-shrink`` marker
+        carrying ``pages_evicted``).  Shrinking below the pinned set raises
+        — pinned pages cannot be evicted, so the squeeze must be bounded by
+        the caller.  Returns the number of pages evicted.
+        """
+        new_pages = int(capacity_bytes) // self.page_size
+        if new_pages < 0:
+            raise ValueError("capacity must be non-negative")
+        pinned = self.pinned_pages
+        if new_pages < pinned:
+            raise ValueError(
+                f"cannot shrink UVM pool to {new_pages} pages below "
+                f"{pinned} pinned pages"
+            )
+        overflow = self._n_resident - new_pages
+        evicted = self._evict(overflow) if overflow > 0 else 0
+        self.capacity_pages = new_pages
+        if evicted:
+            self._emit("uvm-shrink", "squeeze",
+                       counters={"pages_evicted": evicted},
+                       extra=(("capacity_pages", float(new_pages)),))
+        return evicted
 
     def _evict(self, k: int) -> int:
         """Evict the ``k`` least-recently-used unpinned resident pages."""

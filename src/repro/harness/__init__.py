@@ -11,6 +11,11 @@ building blocks it schedules (:func:`make_workload`, :func:`run_workload`,
 :func:`run_cell`) plus the sweeps behind Figures 10/11.
 """
 
+from repro.harness.checkpoint import (
+    CheckpointStore,
+    CheckpointWriter,
+    IterationCheckpoint,
+)
 from repro.harness.experiments import (
     ENGINES,
     BENCH_SCALE,
@@ -57,4 +62,7 @@ __all__ = [
     "result_from_payload",
     "save_results",
     "load_results",
+    "IterationCheckpoint",
+    "CheckpointStore",
+    "CheckpointWriter",
 ]

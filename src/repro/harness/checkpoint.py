@@ -1,0 +1,141 @@
+"""Iteration checkpoints: resume a faulted cell from its last superstep.
+
+A mid-run crash (a worker killed on timeout, a fault plan exhausting its
+retry budget, the host dying) used to lose every completed iteration.  This
+module snapshots the *entire* simulation state after each superstep —
+vertex values, frontier, iteration index, plus an opaque pickle blob
+holding the engine, the simulated device (clock, lanes, event log, memory
+allocator), and the fault injector's RNG stream — so
+:meth:`repro.engines.base.Engine.run` can continue from the next iteration
+and produce a **bit-identical** :class:`~repro.engines.base.RunResult` to
+an uninterrupted run (determinism is what makes resume trustworthy: the
+resumed half replays no differently than it would have run).
+
+Layout on disk: one pickle file per cell under the store root, keyed by
+the cell's :meth:`~repro.runner.spec.RunSpec.cache_key` (or any caller
+string).  Writes are atomic (tmp + rename) so a crash mid-write leaves the
+previous checkpoint intact; unreadable/corrupt files load as ``None`` —
+the runner just starts the cell from scratch.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["IterationCheckpoint", "CheckpointStore", "CheckpointWriter"]
+
+#: Bumped when the on-disk layout changes; mismatched files load as None.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class IterationCheckpoint:
+    """One superstep's snapshot.
+
+    ``values``/``active``/``iteration`` duplicate the algorithm state in
+    inspectable form (tests, debugging, partial-result salvage); ``blob``
+    is the authoritative pickle produced by
+    :meth:`~repro.engines.base.Engine.snapshot_state`, from which the run
+    is actually resumed.
+    """
+
+    engine: str
+    algorithm: str
+    graph_name: str
+    iteration: int
+    values: np.ndarray
+    active: np.ndarray
+    blob: bytes
+
+
+class CheckpointStore:
+    """Filesystem-backed checkpoint directory (one pickle per cell key)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        """The on-disk path backing ``key``."""
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in key)
+        return os.path.join(self.root, f"{safe}.ckpt")
+
+    def save(self, key: str, checkpoint: IterationCheckpoint) -> str:
+        """Atomically persist ``checkpoint`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            pickle.dump({"version": CHECKPOINT_VERSION, "checkpoint": checkpoint},
+                        fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return path
+
+    def load(self, key: str) -> Optional[IterationCheckpoint]:
+        """The latest checkpoint for ``key``, or None (missing / corrupt /
+        version mismatch) — callers fall back to a from-scratch run."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, ValueError):
+            return None
+        if not isinstance(payload, dict) \
+                or payload.get("version") != CHECKPOINT_VERSION:
+            return None
+        ckpt = payload.get("checkpoint")
+        return ckpt if isinstance(ckpt, IterationCheckpoint) else None
+
+    def clear(self, key: str) -> None:
+        """Drop ``key``'s checkpoint (after the cell completes)."""
+        try:
+            os.remove(self.path_for(key))
+        except FileNotFoundError:
+            pass
+
+    def keys(self) -> List[str]:
+        """Keys with a checkpoint on disk (sorted, extension stripped)."""
+        return sorted(
+            name[: -len(".ckpt")] for name in os.listdir(self.root)
+            if name.endswith(".ckpt")
+        )
+
+
+class CheckpointWriter:
+    """Per-run writer an :class:`~repro.engines.base.Engine` calls after
+    each superstep (installed on ``engine.checkpoint`` by the harness).
+
+    ``every`` thins the cadence: snapshot every N-th iteration (the last
+    snapshot still wins — resume just replays a little more).
+    """
+
+    def __init__(self, store: CheckpointStore, key: str, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.store = store
+        self.key = key
+        self.every = every
+        self.n_saved = 0
+
+    def save(self, engine, gpu, graph, program, state, records) -> Optional[str]:
+        """Snapshot the run right after an iteration; returns the path
+        written (None when thinned out by ``every``)."""
+        done = len(records)
+        if done % self.every != 0:
+            return None
+        ckpt = IterationCheckpoint(
+            engine=engine.name,
+            algorithm=program.name,
+            graph_name=graph.name,
+            iteration=state.iteration,
+            values=np.array(program.values(state), copy=True),
+            active=np.array(state.active, copy=True),
+            blob=engine.snapshot_state(gpu, state, records),
+        )
+        self.n_saved += 1
+        return self.store.save(self.key, ckpt)

@@ -165,23 +165,52 @@ def workload_for_spec(spec: "RunSpec") -> Workload:
     )
 
 
-def run_workload(workload: Workload, engine_name: str, **engine_kwargs) -> RunResult:
+def run_workload(workload: Workload, engine_name: str, checkpoint=None,
+                 checkpoint_key: str | None = None, **engine_kwargs) -> RunResult:
     """Run one registered engine on a pre-built workload.
 
     This is the primitive under :func:`run_cell`; use it directly when the
     workload carries something a spec cannot name (a custom or RMAT
     dataset, a pre-weighted graph).
+
+    ``checkpoint`` (a :class:`~repro.harness.checkpoint.CheckpointStore`)
+    with ``checkpoint_key`` enables crash recovery: the engine snapshots
+    after every iteration, an existing checkpoint under the key resumes
+    the run bit-exactly, and the checkpoint is cleared once the run
+    completes.
     """
     engine: Engine = registry.create(
         engine_name, spec=workload.spec, data_scale=workload.scale, **engine_kwargs
     )
-    return engine.run(workload.graph, workload.fresh_program())
+    resume = None
+    if checkpoint is not None:
+        from repro.harness.checkpoint import CheckpointWriter
+
+        if not checkpoint_key:
+            raise ValueError("checkpoint requires a checkpoint_key")
+        engine.checkpoint = CheckpointWriter(checkpoint, checkpoint_key)
+        resume = checkpoint.load(checkpoint_key)
+    if resume is not None:
+        result = engine.run(workload.graph, workload.fresh_program(),
+                            resume_from=resume)
+    else:
+        # Keep the two-argument call for engines that predate resume
+        # support (third-party engines only need run(graph, program)).
+        result = engine.run(workload.graph, workload.fresh_program())
+    if checkpoint is not None:
+        checkpoint.clear(checkpoint_key)
+    return result
 
 
 def run_cell(
-    spec: "Union[RunSpec, Workload]", engine_name: str | None = None, **engine_kwargs
+    spec: "Union[RunSpec, Workload]", engine_name: str | None = None,
+    checkpoint_dir: str | None = None, **engine_kwargs
 ) -> RunResult:
     """Run one grid cell described by a :class:`~repro.runner.spec.RunSpec`.
+
+    The spec's chaos fields (``fault_plan``/``seed``) are forwarded to the
+    engine; ``checkpoint_dir`` enables per-iteration checkpointing keyed by
+    the spec's cache key, resuming an interrupted cell bit-exactly.
 
     .. deprecated:: 1.1
         The old positional form ``run_cell(workload, engine_name, **kw)``
@@ -207,7 +236,18 @@ def run_cell(
             "run_cell(RunSpec) takes no extra arguments — put engine "
             "options in RunSpec.engine_opts"
         )
-    return run_workload(workload_for_spec(spec), spec.engine, **spec.engine_kwargs())
+    kwargs = spec.engine_kwargs()
+    if spec.fault_plan is not None:
+        kwargs.setdefault("fault_plan", spec.fault_plan)
+        kwargs.setdefault("seed", spec.seed)
+    store = None
+    if checkpoint_dir is not None:
+        from repro.harness.checkpoint import CheckpointStore
+
+        store = CheckpointStore(checkpoint_dir)
+    return run_workload(workload_for_spec(spec), spec.engine,
+                        checkpoint=store, checkpoint_key=spec.cache_key(),
+                        **kwargs)
 
 
 def run_all_engines(workload: Workload) -> Dict[str, RunResult]:

@@ -120,6 +120,10 @@ def result_to_payload(result: RunResult) -> Dict:
             "pages_evicted": result.metrics.pages_evicted,
             "kernel_launches": result.metrics.kernel_launches,
             "edges_processed": result.metrics.edges_processed,
+            "transfer_faults": result.metrics.transfer_faults,
+            "transfer_retries": result.metrics.transfer_retries,
+            "kernel_aborts": result.metrics.kernel_aborts,
+            "retry_seconds": result.metrics.retry_seconds,
             "phase_seconds": dict(result.metrics.phase_seconds),
         },
         "per_iteration": [
@@ -160,6 +164,12 @@ def result_from_payload(payload: Dict) -> RunResult:
         pages_evicted=m["pages_evicted"],
         kernel_launches=m["kernel_launches"],
         edges_processed=m["edges_processed"],
+        # Chaos counters arrived after PAYLOAD_VERSION 1; default for
+        # payloads written before them.
+        transfer_faults=m.get("transfer_faults", 0),
+        transfer_retries=m.get("transfer_retries", 0),
+        kernel_aborts=m.get("kernel_aborts", 0),
+        retry_seconds=m.get("retry_seconds", 0.0),
     )
     for phase, sec in m["phase_seconds"].items():
         metrics.phase_seconds[phase] = sec

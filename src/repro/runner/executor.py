@@ -122,56 +122,90 @@ def grid_specs(
     engines: Sequence[str],
     scale: Optional[float] = None,
     memory_bytes: Optional[int] = None,
+    seed: int = 0,
+    fault_plan=None,
 ) -> List[RunSpec]:
-    """The cross product as specs, datasets-major (the benchmark order)."""
+    """The cross product as specs, datasets-major (the benchmark order).
+
+    ``seed``/``fault_plan`` stamp every cell with the same chaos-mode
+    configuration (a chaos grid); the defaults are the fault-free model.
+    """
     return [
-        RunSpec(dataset=d, algorithm=a, engine=e, scale=scale, memory_bytes=memory_bytes)
+        RunSpec(dataset=d, algorithm=a, engine=e, scale=scale,
+                memory_bytes=memory_bytes, seed=seed, fault_plan=fault_plan)
         for d, a, e in itertools.product(datasets, algorithms, engines)
     ]
 
 
 # --------------------------------------------------------------- execution
-def _execute_spec(spec: RunSpec) -> RunResult:
+def _execute_spec(spec: RunSpec, checkpoint_dir: Optional[str] = None) -> RunResult:
     """Build the workload and run the cell (current process)."""
     from repro.harness.experiments import run_cell
 
-    return run_cell(spec)
+    return run_cell(spec, checkpoint_dir=checkpoint_dir)
 
 
 def _raise_timeout(signum, frame):  # pragma: no cover - trivial
     raise CellTimeoutError("cell exceeded its time budget")
 
 
-def _run_inline(spec: RunSpec, timeout: Optional[float]) -> RunResult:
-    """Run one cell in this process, enforcing ``timeout`` when possible.
+def _can_use_sigalrm() -> bool:
+    """Whether an inline timeout is enforceable in this context.
 
-    Inline timeout enforcement needs ``SIGALRM`` on the main thread; off
-    the main thread (or off POSIX) the cell simply runs to completion.
+    ``SIGALRM``-based enforcement needs a POSIX interval timer
+    (``signal.setitimer``; absent on Windows) and must run on the main
+    thread — CPython refuses to install signal handlers anywhere else.
+    When it is unavailable (e.g. :func:`run_grid` called from a worker
+    thread of a larger application), the inline path runs the cell to
+    completion instead of failing; the process-pool path (``jobs > 1``)
+    still enforces the timeout parent-side via the worker deadline, so
+    callers that need hard timeouts off the main thread should use it.
     """
-    can_alarm = (
-        timeout is not None
+    return (
+        hasattr(signal, "SIGALRM")
         and hasattr(signal, "setitimer")
         and threading.current_thread() is threading.main_thread()
     )
-    if not can_alarm:
-        return _execute_spec(spec)
+
+
+def _run_inline(spec: RunSpec, timeout: Optional[float],
+                checkpoint_dir: Optional[str] = None) -> RunResult:
+    """Run one cell in this process, enforcing ``timeout`` when possible.
+
+    ``timeout=None`` means *unlimited*: no signal handler or interval
+    timer is installed at all (the previous behaviour armed the plumbing
+    even when there was nothing to enforce).  A finite timeout is enforced
+    via ``SIGALRM`` when :func:`_can_use_sigalrm` allows; otherwise the
+    cell simply runs to completion (see that helper for the fallback
+    contract).
+    """
+    if timeout is None or not _can_use_sigalrm():
+        return _execute_spec(spec, checkpoint_dir)
     previous = signal.signal(signal.SIGALRM, _raise_timeout)
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        return _execute_spec(spec)
+        return _execute_spec(spec, checkpoint_dir)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
 
 
-def _worker_main(conn, spec_dict: dict, timeout: Optional[float]) -> None:
-    """Subprocess entry: run one cell, ship the payload (or error) back."""
+def _worker_main(conn, spec_dict: dict, timeout: Optional[float],
+                 checkpoint_dir: Optional[str] = None) -> None:
+    """Subprocess entry: run one cell, ship the payload (or error) back.
+
+    With ``timeout=None`` no timer is armed; a finite timeout is enforced
+    in-process via ``SIGALRM`` where the platform has it (workers are
+    fresh main threads, so only the platform check matters), with the
+    parent's kill deadline as the backstop either way.
+    """
     try:
-        if timeout is not None and hasattr(signal, "setitimer"):
+        if (timeout is not None and hasattr(signal, "SIGALRM")
+                and hasattr(signal, "setitimer")):
             signal.signal(signal.SIGALRM, _raise_timeout)
             signal.setitimer(signal.ITIMER_REAL, timeout)
         spec = RunSpec.from_dict(spec_dict)
-        result = _execute_spec(spec)
+        result = _execute_spec(spec, checkpoint_dir)
         message = {"ok": True, "payload": result_to_payload(result)}
     except BaseException as exc:  # isolate *everything*; the parent decides
         message = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
@@ -224,6 +258,7 @@ def _run_tasks_parallel(
     jobs: int,
     timeout: Optional[float],
     retries: int,
+    checkpoint_dir: Optional[str] = None,
 ) -> Dict[int, CellOutcome]:
     """Fan ``tasks`` out over worker processes; one ``CellOutcome`` each.
 
@@ -282,7 +317,7 @@ def _run_tasks_parallel(
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
                     target=_worker_main,
-                    args=(child_conn, task.spec.to_dict(), timeout),
+                    args=(child_conn, task.spec.to_dict(), timeout, checkpoint_dir),
                     daemon=True,
                 )
                 proc.start()
@@ -331,6 +366,7 @@ def _run_tasks_serial(
     tasks: List[_Task],
     timeout: Optional[float],
     retries: int,
+    checkpoint_dir: Optional[str] = None,
 ) -> Dict[int, CellOutcome]:
     """Run every task inline, with the same retry/timeout semantics."""
     outcomes: Dict[int, CellOutcome] = {}
@@ -339,7 +375,7 @@ def _run_tasks_serial(
             task.attempts += 1
             t0 = time.monotonic()
             try:
-                raw = _run_inline(task.spec, timeout)
+                raw = _run_inline(task.spec, timeout, checkpoint_dir)
                 # Normalize through the lossless payload form so serial
                 # results are bitwise identical to worker/cache results.
                 result = result_from_payload(result_to_payload(raw))
@@ -372,6 +408,7 @@ def run_grid(
     cache: Union[ResultCache, str, "os.PathLike[str]", None] = None,
     timeout: Optional[float] = None,
     retries: int = 1,
+    checkpoint_dir: Optional[str] = None,
 ) -> GridReport:
     """Execute a batch of grid cells; never raises for a failing cell.
 
@@ -386,10 +423,23 @@ def run_grid(
         A :class:`~repro.runner.cache.ResultCache`, a directory path to
         open one in, or ``None`` to always recompute.
     timeout:
-        Per-cell budget in wall seconds (``None`` = unlimited).
+        Per-cell budget in wall seconds.  ``None`` (the default) means
+        *unlimited* — no signal handler, interval timer, or parent-side
+        kill deadline is installed anywhere.  A finite timeout is
+        enforced via ``SIGALRM`` where available (POSIX main thread /
+        fresh worker processes) and backstopped by a parent-side kill
+        deadline when ``jobs > 1``; see :func:`_can_use_sigalrm` for the
+        fallback when neither applies.
     retries:
         Extra attempts after a failed one before the cell is marked
-        ``failed``.
+        ``failed``.  ``0`` means exactly one attempt: the first failure
+        is final.
+    checkpoint_dir:
+        Directory for per-iteration checkpoints (``None`` disables
+        them).  With a directory, every attempt snapshots after each
+        iteration under the spec's cache key, so a retry of a crashed or
+        timed-out cell resumes from its last completed iteration instead
+        of starting over — in both the serial and process-pool paths.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -421,9 +471,10 @@ def run_grid(
     pending = list(tasks.values())
     if pending:
         runner = (
-            _run_tasks_parallel(pending, min(jobs, len(pending)), timeout, retries)
+            _run_tasks_parallel(pending, min(jobs, len(pending)), timeout,
+                                retries, checkpoint_dir)
             if jobs > 1
-            else _run_tasks_serial(pending, timeout, retries)
+            else _run_tasks_serial(pending, timeout, retries, checkpoint_dir)
         )
         for task in pending:
             outcome = runner[task.indices[0]]

@@ -20,22 +20,25 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.core.ascetic import AsceticConfig
+from repro.gpusim.faults import FaultPlan
 
 __all__ = ["RunSpec"]
 
 #: Option values a spec can carry: JSON scalars plus engine config objects.
-OptValue = Union[str, int, float, bool, None, AsceticConfig]
+OptValue = Union[str, int, float, bool, None, AsceticConfig, FaultPlan]
 
 
 def _encode_opt(value: OptValue) -> Any:
     """One engine option → a JSON-able value (configs get a type tag)."""
     if isinstance(value, AsceticConfig):
         return {"__kind__": "AsceticConfig", "fields": value.to_dict()}
+    if isinstance(value, FaultPlan):
+        return {"__kind__": "FaultPlan", "fields": value.to_dict()}
     if value is None or isinstance(value, (str, int, float, bool)):
         return value
     raise TypeError(
-        f"engine option {value!r} is not serializable; use JSON scalars "
-        "or AsceticConfig"
+        f"engine option {value!r} is not serializable; use JSON scalars, "
+        "AsceticConfig, or FaultPlan"
     )
 
 
@@ -44,6 +47,8 @@ def _decode_opt(value: Any) -> OptValue:
     if isinstance(value, dict):
         if value.get("__kind__") == "AsceticConfig":
             return AsceticConfig.from_dict(value["fields"])
+        if value.get("__kind__") == "FaultPlan":
+            return FaultPlan.from_dict(value["fields"])
         raise ValueError(f"unknown tagged engine option {value!r}")
     return value
 
@@ -70,6 +75,13 @@ class RunSpec:
         Extra keyword options for the engine factory, e.g.
         ``{"config": AsceticConfig(...)}``.  Accepted as a mapping;
         stored as a sorted tuple of pairs so the spec stays hashable.
+    seed:
+        Run seed feeding the chaos-mode fault injector (inert without a
+        ``fault_plan``).  The default ``0`` is omitted from serialization
+        so pre-chaos cache keys stay valid.
+    fault_plan:
+        Optional :class:`~repro.gpusim.faults.FaultPlan` (or its
+        ``to_dict`` mapping) injected deterministically into the run.
     """
 
     dataset: str
@@ -78,6 +90,8 @@ class RunSpec:
     scale: Optional[float] = None
     memory_bytes: Optional[int] = None
     engine_opts: Tuple[Tuple[str, OptValue], ...] = field(default=())
+    seed: int = 0
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "algorithm", self.algorithm.upper())
@@ -94,6 +108,10 @@ class RunSpec:
         for _, v in opts:
             _encode_opt(v)  # reject unserializable values eagerly
         object.__setattr__(self, "engine_opts", opts)
+        object.__setattr__(self, "seed", int(self.seed))
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            object.__setattr__(self, "fault_plan",
+                               FaultPlan.from_dict(self.fault_plan))
 
     # ------------------------------------------------------------- views
     @property
@@ -111,8 +129,13 @@ class RunSpec:
 
     # ------------------------------------------------------ serialization
     def to_dict(self) -> Dict[str, Any]:
-        """Plain JSON-able mapping; inverse of :meth:`from_dict`."""
-        return {
+        """Plain JSON-able mapping; inverse of :meth:`from_dict`.
+
+        The chaos fields (``seed``/``fault_plan``) are included only when
+        they differ from the fault-free defaults, so every pre-chaos spec
+        keeps its exact serialized form — and with it its cache key.
+        """
+        out: Dict[str, Any] = {
             "dataset": self.dataset,
             "algorithm": self.algorithm,
             "engine": self.engine,
@@ -120,10 +143,16 @@ class RunSpec:
             "memory_bytes": self.memory_bytes,
             "engine_opts": {k: _encode_opt(v) for k, v in self.engine_opts},
         }
+        if self.seed != 0:
+            out["seed"] = self.seed
+        if self.fault_plan is not None:
+            out["fault_plan"] = self.fault_plan.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
         """Rebuild a spec written by :meth:`to_dict`."""
+        plan = data.get("fault_plan")
         return cls(
             dataset=data["dataset"],
             algorithm=data["algorithm"],
@@ -133,6 +162,8 @@ class RunSpec:
             engine_opts={
                 k: _decode_opt(v) for k, v in (data.get("engine_opts") or {}).items()
             },
+            seed=data.get("seed", 0),
+            fault_plan=FaultPlan.from_dict(plan) if plan is not None else None,
         )
 
     def cache_key(self) -> str:

@@ -129,3 +129,39 @@ class TestGridCommand:
         out = capsys.readouterr().out
         assert "1 computed" in out
         assert "cache:" not in out
+
+
+class TestChaosCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos", "FK", "BFS"])
+        assert args.engine == "Ascetic"
+        assert args.seed == 0
+
+    def test_chaos_passes_and_prints_digest(self, capsys):
+        rc = main(["chaos", "GS", "BFS", "--engine", "Subway",
+                   "--seed", "7", "--scale", "5e-5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "digest: " in out
+        assert "identical to fault-free baseline" in out
+
+    def test_chaos_digest_deterministic(self, capsys):
+        argv = ["chaos", "GS", "BFS", "--engine", "Ascetic",
+                "--seed", "7", "--scale", "5e-5"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        digest = [ln for ln in first.splitlines() if ln.startswith("digest:")]
+        assert digest == [ln for ln in second.splitlines()
+                          if ln.startswith("digest:")]
+
+    def test_chaos_seed_changes_digest(self, capsys):
+        base = ["chaos", "GS", "BFS", "--engine", "Subway", "--scale", "2e-4"]
+        assert main(base + ["--seed", "1"]) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--seed", "2"]) == 0
+        second = capsys.readouterr().out
+        d1 = [ln for ln in first.splitlines() if ln.startswith("digest:")]
+        d2 = [ln for ln in second.splitlines() if ln.startswith("digest:")]
+        assert d1 != d2

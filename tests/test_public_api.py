@@ -20,6 +20,7 @@ MODULES = [
     "repro.gpusim.clock",
     "repro.gpusim.device",
     "repro.gpusim.events",
+    "repro.gpusim.faults",
     "repro.gpusim.host",
     "repro.gpusim.kernel",
     "repro.gpusim.memory",
@@ -61,6 +62,7 @@ MODULES = [
     "repro.analysis.reuse",
     "repro.analysis.report",
     "repro.harness",
+    "repro.harness.checkpoint",
     "repro.harness.experiments",
     "repro.harness.sweeps",
     "repro.harness.persistence",
@@ -123,6 +125,8 @@ def test_top_level_surface_pinned():
         "AsceticEngine",
         "AsceticConfig",
         "registry",
+        "FaultPlan",
+        "standard_plan",
         "RunSpec",
         "ResultCache",
         "GridReport",

@@ -1,11 +1,16 @@
 """Tests for the grid executor: parallelism, caching, fault isolation."""
 
 import os
+import signal
+import threading
 import time
 
+import numpy as np
 import pytest
 
 from repro.engines import registry
+from repro.engines.subway import SubwayEngine
+from repro.gpusim.faults import standard_plan
 from repro.runner import ResultCache, RunSpec, grid_specs, run_grid
 
 SCALE = 5e-5
@@ -58,6 +63,17 @@ class _SleepingEngine:
         time.sleep(60)
 
 
+class _CrashAt3Engine(SubwayEngine):
+    """Dies at iteration 3 of every from-scratch run; survives a resume."""
+
+    name = "CrashAt3"
+
+    def _iteration(self, gpu, graph, program, state):
+        if self.resumed_iteration is None and state.iteration == 3:
+            raise RuntimeError("simulated mid-run crash")
+        super()._iteration(gpu, graph, program, state)
+
+
 @pytest.fixture
 def fault_engines():
     registry.register("Exploding", _ExplodingEngine)
@@ -67,6 +83,13 @@ def fault_engines():
     registry.unregister("Exploding")
     registry.unregister("Crashing")
     registry.unregister("Sleeping")
+
+
+@pytest.fixture
+def crash_at_3_engine():
+    registry.register("CrashAt3", _CrashAt3Engine)
+    yield
+    registry.unregister("CrashAt3")
 
 
 class TestEquivalence:
@@ -182,6 +205,101 @@ class TestFaultIsolation:
         report = run_grid([spec], jobs=1, retries=0, cache=tmp_path)
         assert report.cells[0].status == "failed"
         assert report.cache.hits == 0
+
+
+class TestEdgeCases:
+    """``retries=0`` / ``timeout=None`` are explicit, documented contracts."""
+
+    def test_retries_zero_is_one_attempt_parallel(self, fault_engines):
+        report = run_grid(
+            [RunSpec("FK", "BFS", "Exploding", scale=SCALE)], jobs=2, retries=0
+        )
+        assert report.cells[0].status == "failed"
+        assert report.cells[0].attempts == 1
+
+    def test_timeout_none_installs_no_timer(self):
+        # With no budget to enforce, run_grid must leave the signal
+        # plumbing completely untouched.
+        sentinel = lambda signum, frame: None  # noqa: E731
+        previous = signal.signal(signal.SIGALRM, sentinel)
+        try:
+            report = run_grid(
+                [RunSpec("GS", "BFS", "Subway", scale=SCALE)], jobs=1,
+                timeout=None,
+            )
+            assert report.cells[0].status == "ok"
+            assert signal.getsignal(signal.SIGALRM) is sentinel
+            assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+        finally:
+            signal.signal(signal.SIGALRM, previous)
+
+    def test_sigalrm_detection_off_main_thread(self):
+        from repro.runner.executor import _can_use_sigalrm
+
+        assert _can_use_sigalrm()  # pytest runs tests on the main thread
+        seen = {}
+        t = threading.Thread(
+            target=lambda: seen.setdefault("value", _can_use_sigalrm())
+        )
+        t.start()
+        t.join()
+        assert seen["value"] is False
+
+    def test_inline_timeout_falls_back_off_main_thread(self):
+        # Off the main thread no alarm can be armed: the documented
+        # fallback is to run the cell to completion, not to fail.
+        box = {}
+
+        def work():
+            box["report"] = run_grid(
+                [RunSpec("GS", "BFS", "Subway", scale=SCALE)], jobs=1,
+                timeout=0.001, retries=0,
+            )
+
+        t = threading.Thread(target=work)
+        t.start()
+        t.join()
+        assert box["report"].cells[0].status == "ok"
+
+
+class TestCheckpointResume:
+    def test_without_checkpoints_every_attempt_crashes(self, crash_at_3_engine):
+        report = run_grid(
+            [RunSpec("GS", "BFS", "CrashAt3", scale=SCALE)], jobs=1, retries=1
+        )
+        assert report.cells[0].status == "failed"
+        assert report.cells[0].attempts == 2
+
+    def test_retry_resumes_from_checkpoint_serial(self, crash_at_3_engine,
+                                                  tmp_path):
+        spec = RunSpec("GS", "BFS", "CrashAt3", scale=SCALE)
+        report = run_grid([spec], jobs=1, retries=1,
+                          checkpoint_dir=str(tmp_path))
+        cell = report.cells[0]
+        assert cell.status == "ok"
+        assert cell.attempts == 2  # crashed once, resumed past iteration 3
+        subway = run_grid(
+            [RunSpec("GS", "BFS", "Subway", scale=SCALE)], jobs=1
+        ).cells[0].result
+        assert np.array_equal(cell.result.values, subway.values)
+        assert os.listdir(tmp_path) == []  # cleared on success
+
+    def test_retry_resumes_from_checkpoint_parallel(self, crash_at_3_engine,
+                                                    tmp_path):
+        spec = RunSpec("GS", "BFS", "CrashAt3", scale=SCALE)
+        report = run_grid([spec], jobs=2, retries=1,
+                          checkpoint_dir=str(tmp_path))
+        cell = report.cells[0]
+        assert cell.status == "ok"
+        assert cell.attempts == 2
+        assert os.listdir(tmp_path) == []
+
+    def test_grid_specs_stamp_chaos_fields(self):
+        plan = standard_plan()
+        specs = grid_specs(["GS"], ["BFS"], ["Subway"], scale=SCALE,
+                           seed=3, fault_plan=plan)
+        assert specs[0].seed == 3
+        assert specs[0].fault_plan == plan
 
 
 class TestReport:
