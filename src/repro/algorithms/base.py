@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.algorithms.frontier import FrontierCache, FrontierExpansion
 from repro.graph.csr import CSRGraph
 
 __all__ = ["ProgramState", "VertexProgram"]
@@ -37,6 +38,13 @@ class ProgramState:
 
     ``active`` is the frontier consumed by the *next* call to ``step``.
     Subclasses add the value arrays (levels, distances, labels, ranks).
+
+    The state also carries the per-iteration :class:`FrontierCache`: the
+    engine run loop, the engine's data-movement accounting, and the
+    program's ``step`` all walk the *same* active mask, so the walk is
+    memoized here and happens at most once per superstep.  The cache is
+    transparent — every accessor is a pure function of ``(graph, active)``
+    — and is dropped on pickling (checkpoints recompute it).
     """
 
     active: np.ndarray
@@ -44,9 +52,42 @@ class ProgramState:
     #: Edges processed so far, accumulated by ``step`` (for reports).
     edges_relaxed: int = field(default=0)
 
+    def __post_init__(self) -> None:
+        self._frontier = FrontierCache()
+
     @property
     def n_active(self) -> int:
         return int(np.count_nonzero(self.active))
+
+    # --------------------------------------------------- shared frontier
+    def frontier(self, graph: CSRGraph) -> FrontierExpansion:
+        """The expansion of the current active mask, computed at most once.
+
+        Valid as long as ``active`` is replaced (never mutated in place)
+        between supersteps — which every engine and program does.
+        """
+        return self._frontier.expansion(graph, self.active)
+
+    def active_edges(self, graph: CSRGraph) -> int:
+        """Out-edge count of the current active mask, computed at most once."""
+        return self._frontier.edge_count(graph, self.active)
+
+    def active_vertices(self, graph: CSRGraph):
+        """``(ids, out_degrees)`` of the active vertices (memoized walk)."""
+        return self._frontier.vertices(graph, self.active)
+
+    # ------------------------------------------------------------ pickling
+    def __getstate__(self):
+        # The frontier cache holds derived arrays only; keep checkpoint
+        # blobs lean and let a restored run rebuild it on first use.
+        state = dict(self.__dict__)
+        state["_frontier"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        if self.__dict__.get("_frontier") is None:
+            self._frontier = FrontierCache()
 
 
 class VertexProgram(abc.ABC):

@@ -14,7 +14,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram
-from repro.algorithms.frontier import expand_frontier
 from repro.graph.csr import CSRGraph
 
 __all__ = ["BFS", "BFSState", "UNREACHED"]
@@ -56,7 +55,7 @@ class BFS(VertexProgram):
         return BFSState(active=active, levels=levels)
 
     def step(self, graph: CSRGraph, state: BFSState) -> None:
-        exp = expand_frontier(graph, state.active)
+        exp = state.frontier(graph)
         state.edges_relaxed += exp.n_edges
         nxt = np.zeros(graph.n_vertices, dtype=bool)
         if exp.n_edges:

@@ -21,7 +21,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram
-from repro.algorithms.frontier import expand_frontier
 from repro.graph.csr import CSRGraph
 
 __all__ = ["ConnectedComponents", "CCState"]
@@ -49,7 +48,7 @@ class ConnectedComponents(VertexProgram):
         return CCState(active=active, labels=labels)
 
     def step(self, graph: CSRGraph, state: CCState) -> None:
-        exp = expand_frontier(graph, state.active)
+        exp = state.frontier(graph)
         state.edges_relaxed += exp.n_edges
         nxt = np.zeros(graph.n_vertices, dtype=bool)
         if exp.n_edges:

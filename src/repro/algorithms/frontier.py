@@ -10,6 +10,14 @@ ranges-to-indices trick: with per-vertex CSR ranges ``[starts, ends)``,
 where ``cum`` is the exclusive prefix sum of counts.  All engines use the
 same expansion, so every engine processes exactly the same edge set and
 produces bit-identical results.
+
+Within one engine iteration the same mask is walked several times — the run
+loop counts its edges for telemetry, the engine's data-movement accounting
+counts them again, and the program's ``step`` finally materializes the full
+expansion.  :class:`FrontierCache` memoizes that work per ``(graph, mask)``
+pair so each walk happens at most once per iteration (the
+``state.frontier()`` / ``state.active_edges()`` API on
+:class:`~repro.algorithms.base.ProgramState` fronts it).
 """
 
 from __future__ import annotations
@@ -20,7 +28,12 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 
-__all__ = ["FrontierExpansion", "expand_frontier", "active_edge_count"]
+__all__ = [
+    "FrontierExpansion",
+    "FrontierCache",
+    "expand_frontier",
+    "active_edge_count",
+]
 
 
 @dataclass(frozen=True)
@@ -39,15 +52,20 @@ class FrontierExpansion:
         return self.positions.size
 
 
-def expand_frontier(graph: CSRGraph, active: np.ndarray) -> FrontierExpansion:
-    """Enumerate the out-edges of every vertex set in the boolean mask ``active``."""
-    if active.shape != (graph.n_vertices,):
-        raise ValueError(
-            f"active mask shape {active.shape} != ({graph.n_vertices},)"
-        )
+def _walk_mask(graph: CSRGraph, active: np.ndarray):
+    """The per-mask walk shared by counting and expansion.
+
+    Returns ``(vs, starts, counts)`` over *all* set vertices (zero-degree
+    ones included — PageRank needs them for its dangling-mass accounting).
+    """
     vs = np.nonzero(active)[0]
     starts = graph.indptr[vs]
     counts = graph.indptr[vs + 1] - starts
+    return vs, starts, counts
+
+
+def _expand(vs: np.ndarray, starts: np.ndarray, counts: np.ndarray) -> FrontierExpansion:
+    """Materialize the expansion from a mask walk's intermediates."""
     nz = counts > 0
     vs, starts, counts = vs[nz], starts[nz], counts[nz]
     total = int(counts.sum())
@@ -60,9 +78,73 @@ def expand_frontier(graph: CSRGraph, active: np.ndarray) -> FrontierExpansion:
     return FrontierExpansion(sources=sources, positions=positions)
 
 
+def expand_frontier(graph: CSRGraph, active: np.ndarray) -> FrontierExpansion:
+    """Enumerate the out-edges of every vertex set in the boolean mask ``active``."""
+    if active.shape != (graph.n_vertices,):
+        raise ValueError(
+            f"active mask shape {active.shape} != ({graph.n_vertices},)"
+        )
+    return _expand(*_walk_mask(graph, active))
+
+
 def active_edge_count(graph: CSRGraph, active: np.ndarray) -> int:
     """Number of out-edges of the active vertices (no materialization)."""
     vs = np.nonzero(active)[0]
     if vs.size == 0:
         return 0
     return int((graph.indptr[vs + 1] - graph.indptr[vs]).sum())
+
+
+class FrontierCache:
+    """Memoized frontier work for one ``(graph, mask)`` pair at a time.
+
+    Keys on *object identity*: the cache is valid only while the caller
+    keeps handing in the very same graph and mask objects, and the mask
+    must not be mutated in place (engines and programs replace the active
+    mask wholesale each superstep, so both hold in practice).  A different
+    graph or mask simply recomputes — correctness never depends on a hit.
+    """
+
+    __slots__ = ("_graph", "_mask", "_vs", "_starts", "_counts",
+                 "_count", "_expansion")
+
+    def __init__(self) -> None:
+        self._graph = None
+        self._mask = None
+        self._vs = self._starts = self._counts = None
+        self._count: int | None = None
+        self._expansion: FrontierExpansion | None = None
+
+    def _walk(self, graph: CSRGraph, active: np.ndarray):
+        if self._graph is not graph or self._mask is not active:
+            if active.shape != (graph.n_vertices,):
+                raise ValueError(
+                    f"active mask shape {active.shape} != ({graph.n_vertices},)"
+                )
+            self._vs, self._starts, self._counts = _walk_mask(graph, active)
+            self._graph, self._mask = graph, active
+            self._count = None
+            self._expansion = None
+        return self._vs, self._starts, self._counts
+
+    def vertices(self, graph: CSRGraph, active: np.ndarray):
+        """``(vs, out_degrees)`` of the set vertices, zero-degree included."""
+        vs, _, counts = self._walk(graph, active)
+        return vs, counts
+
+    def edge_count(self, graph: CSRGraph, active: np.ndarray) -> int:
+        """Memoized :func:`active_edge_count`."""
+        if self._expansion is not None and self._graph is graph \
+                and self._mask is active:
+            return self._expansion.n_edges
+        _, _, counts = self._walk(graph, active)
+        if self._count is None:
+            self._count = int(counts.sum())
+        return self._count
+
+    def expansion(self, graph: CSRGraph, active: np.ndarray) -> FrontierExpansion:
+        """Memoized :func:`expand_frontier`."""
+        vs, starts, counts = self._walk(graph, active)
+        if self._expansion is None:
+            self._expansion = _expand(vs, starts, counts)
+        return self._expansion

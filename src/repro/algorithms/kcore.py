@@ -20,7 +20,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram
-from repro.algorithms.frontier import expand_frontier
 from repro.graph.csr import CSRGraph
 
 __all__ = ["KCore", "KCoreState"]
@@ -77,7 +76,7 @@ class KCore(VertexProgram):
 
     def step(self, graph: CSRGraph, state: KCoreState) -> None:
         removing = state.active
-        exp = expand_frontier(graph, removing)
+        exp = state.frontier(graph)
         state.edges_relaxed += exp.n_edges
         # A vertex removed while the threshold is k has coreness k - 1.
         state.core[removing] = state.k - 1

@@ -22,7 +22,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram
-from repro.algorithms.frontier import expand_frontier
 from repro.graph.csr import CSRGraph
 
 __all__ = ["PageRank", "PageRankState"]
@@ -68,8 +67,8 @@ class PageRank(VertexProgram):
         n = graph.n_vertices
         teleport = (1.0 - self.damping) / max(n, 1)
         threshold = self.tol * teleport
-        vs = np.nonzero(state.active)[0]
-        exp = expand_frontier(graph, state.active)
+        vs, counts = state.active_vertices(graph)
+        exp = state.frontier(graph)
         state.edges_relaxed += exp.n_edges
         # Absorb residual into rank for every active vertex (including
         # dangling ones, whose push mass is dropped — see module docstring).
@@ -77,7 +76,6 @@ class PageRank(VertexProgram):
         state.rank[vs] += absorbed
         state.residual[vs] = 0.0
         if exp.n_edges:
-            counts = (graph.indptr[vs + 1] - graph.indptr[vs]).astype(np.int64)
             deg = np.where(counts > 0, counts, 1).astype(np.float64)
             push = self.damping * absorbed / deg
             # One pushed share per expanded edge, in the same order as the

@@ -22,7 +22,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram
-from repro.algorithms.frontier import expand_frontier
 from repro.graph.csr import CSRGraph
 
 __all__ = ["PageRankPull", "PageRankPullState"]
@@ -70,7 +69,7 @@ class PageRankPull(VertexProgram):
     def step(self, reversed_graph: CSRGraph, state: PageRankPullState) -> None:
         n = reversed_graph.n_vertices
         teleport = (1.0 - self.damping) / max(n, 1)
-        exp = expand_frontier(reversed_graph, state.active)
+        exp = state.frontier(reversed_graph)
         state.edges_relaxed += exp.n_edges
         new_rank = np.full(n, teleport, dtype=np.float64)
         if exp.n_edges:

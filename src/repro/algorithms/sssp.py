@@ -15,7 +15,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram
-from repro.algorithms.frontier import expand_frontier
 from repro.graph.csr import CSRGraph
 
 __all__ = ["SSSP", "SSSPState", "INF_DIST"]
@@ -75,7 +74,7 @@ class SSSP(VertexProgram):
         return SSSPState(active=active, dist=dist, pending=pending, bucket=0)
 
     def step(self, graph: CSRGraph, state: SSSPState) -> None:
-        exp = expand_frontier(graph, state.active)
+        exp = state.frontier(graph)
         state.edges_relaxed += exp.n_edges
         nxt = np.zeros(graph.n_vertices, dtype=bool)
         if exp.n_edges:

@@ -16,7 +16,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram
-from repro.algorithms.frontier import expand_frontier
 from repro.graph.csr import CSRGraph
 
 __all__ = ["SSWP", "SSWPState", "SOURCE_WIDTH"]
@@ -59,7 +58,7 @@ class SSWP(VertexProgram):
         return SSWPState(active=active, width=width)
 
     def step(self, graph: CSRGraph, state: SSWPState) -> None:
-        exp = expand_frontier(graph, state.active)
+        exp = state.frontier(graph)
         state.edges_relaxed += exp.n_edges
         nxt = np.zeros(graph.n_vertices, dtype=bool)
         if exp.n_edges:

@@ -1,0 +1,84 @@
+"""Wall-clock performance-regression harness (``repro bench``).
+
+Everything under :mod:`repro.bench` measures **host wall-clock time** of the
+simulator's own hot paths — frontier expansion, the Static Region's chunk
+accounting, event-log folds, whole engine runs.  This is deliberately a
+different axis from ``benchmarks/``, which reproduces the *paper's* numbers
+in **modelled (simulated) seconds**: a change can leave every modelled
+figure bit-identical while making the simulator itself ten times slower,
+and only this harness would notice.
+
+Three pieces:
+
+* :mod:`repro.bench.registry` — the :class:`Benchmark` descriptor and the
+  process-wide registry the CLI enumerates;
+* :mod:`repro.bench.suite` — the standard benchmark definitions (micro
+  host-path kernels plus macro end-to-end engine runs);
+* :mod:`repro.bench.report` — schema-versioned JSON reports
+  (``BENCH_<rev>.json``) and the regression comparator behind
+  ``repro bench --against``.
+
+See ``docs/performance.md`` for the workflow.
+"""
+
+from repro.bench.registry import Benchmark, Prepared, all_benchmarks, register
+from repro.bench.report import (
+    SCHEMA_VERSION,
+    Comparison,
+    compare_reports,
+    default_report_name,
+    load_report,
+    make_report,
+    write_report,
+)
+from repro.bench.timing import Timing, time_callable
+
+__all__ = [
+    "Benchmark",
+    "Prepared",
+    "all_benchmarks",
+    "register",
+    "SCHEMA_VERSION",
+    "Comparison",
+    "compare_reports",
+    "default_report_name",
+    "load_report",
+    "make_report",
+    "write_report",
+    "Timing",
+    "time_callable",
+    "run_benchmarks",
+]
+
+
+def run_benchmarks(names=None, quick=False, progress=None):
+    """Prepare and time registered benchmarks; returns ``{name: result}``.
+
+    ``names`` filters (exact names); ``quick`` shrinks problem sizes and
+    repeat counts for smoke runs; ``progress`` is an optional callable
+    receiving each benchmark name before it runs.
+    """
+    import repro.bench.suite  # noqa: F401  (registers the standard suite)
+
+    out = {}
+    for bench in all_benchmarks():
+        if names is not None and bench.name not in names:
+            continue
+        if progress is not None:
+            progress(bench.name)
+        prepared = bench.prepare(quick)
+        repeats, warmup = bench.repeats_for(quick)
+        timing = time_callable(prepared.fn, repeats=repeats, warmup=warmup)
+        out[bench.name] = {
+            "kind": bench.kind,
+            "description": bench.description,
+            "best_seconds": timing.best,
+            "mean_seconds": timing.mean,
+            "repeats": timing.repeats,
+            "units": dict(prepared.units),
+            "throughput": {
+                f"{unit}_per_second": (value / timing.best if timing.best > 0 else 0.0)
+                for unit, value in prepared.units.items()
+            },
+        }
+    return out

@@ -1,0 +1,88 @@
+"""Benchmark descriptors and the process-wide registry.
+
+A benchmark is a *prepare* function: it builds its inputs (graphs, regions,
+event logs) outside the timed section and returns a :class:`Prepared` —
+a zero-argument callable to time plus the work units it processes per call
+(edges, bytes, events…), from which the report derives throughput.
+
+Registration is declarative::
+
+    @register("static_region/chunk_touch_counts", kind="micro",
+              description="per-chunk touch counts from an active mask")
+    def _bench(quick: bool) -> Prepared:
+        ...
+        return Prepared(fn=lambda: region.chunk_touch_counts(mask),
+                        units={"edges": n_active_edges})
+
+``kind`` steers the repeat policy: ``micro`` benchmarks are cheap and run
+many repeats; ``macro`` benchmarks (whole engine runs) are seconds-long and
+run few.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Tuple
+
+__all__ = ["Prepared", "Benchmark", "register", "all_benchmarks", "clear"]
+
+#: (repeats, warmup) per (kind, quick-mode).
+_REPEAT_POLICY = {
+    ("micro", False): (7, 2),
+    ("micro", True): (3, 1),
+    ("macro", False): (3, 1),
+    ("macro", True): (2, 0),
+}
+
+
+@dataclass(frozen=True)
+class Prepared:
+    """A ready-to-time benchmark instance."""
+
+    fn: Callable[[], object]
+    units: Mapping[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One registered benchmark: a named, kinded prepare function."""
+
+    name: str
+    kind: str
+    description: str
+    prepare: Callable[[bool], Prepared]
+
+    def repeats_for(self, quick: bool) -> Tuple[int, int]:
+        """``(repeats, warmup)`` under the kind's repeat policy."""
+        return _REPEAT_POLICY[(self.kind, bool(quick))]
+
+
+_REGISTRY: Dict[str, Benchmark] = {}
+
+
+def register(name: str, kind: str, description: str):
+    """Decorator: add a prepare function to the registry under ``name``."""
+    if kind not in ("micro", "macro"):
+        raise ValueError("kind must be 'micro' or 'macro'")
+
+    def deco(prepare: Callable[[bool], Prepared]) -> Callable[[bool], Prepared]:
+        if name in _REGISTRY:
+            raise ValueError(f"benchmark {name!r} already registered")
+        _REGISTRY[name] = Benchmark(
+            name=name, kind=kind, description=description, prepare=prepare
+        )
+        return prepare
+
+    return deco
+
+
+def all_benchmarks() -> List[Benchmark]:
+    """Registered benchmarks in name order (stable across runs)."""
+    import repro.bench.suite  # noqa: F401  (registers the standard suite)
+
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def clear() -> None:
+    """Empty the registry (tests only)."""
+    _REGISTRY.clear()

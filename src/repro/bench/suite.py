@@ -1,0 +1,189 @@
+"""The standard benchmark suite behind ``repro bench``.
+
+Micro benchmarks cover the host hot paths every simulated iteration pays:
+frontier expansion and edge counting (the per-iteration mask walk), the
+Static Region's chunk accounting (touch counts, promotion, the
+StaticBitmap), and the event-log fold.  Macro benchmarks time whole engine
+runs and a small grid, catching regressions the micro kernels miss
+(allocation churn, per-iteration overheads, scheduling).
+
+Sizes are fixed per mode (``quick`` vs full) and every input is seeded, so
+two runs of the same revision time identical work — the comparator's whole
+premise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.frontier import (
+    FrontierCache,
+    active_edge_count,
+    expand_frontier,
+)
+from repro.bench.registry import Prepared, register
+from repro.core.static_region import StaticRegion
+from repro.graph.generators import rmat_graph, web_graph
+
+__all__ = []  # registration happens at import; nothing to re-export
+
+#: Engine-macro dataset scale: full mode matches the harness default
+#: (``BENCH_SCALE``); quick mode shrinks a further 4x for CI smoke runs.
+_MACRO_SCALE = {False: 2.0e-4, True: 5.0e-5}
+
+
+def _frontier_inputs(quick: bool):
+    scale, n_edges = (14, 150_000) if quick else (17, 1_200_000)
+    graph = rmat_graph(scale, n_edges, seed=3)
+    rng = np.random.default_rng(11)
+    mask = rng.random(graph.n_vertices) < 0.3
+    return graph, mask
+
+
+def _region_inputs(quick: bool, fill: str = "front"):
+    n_v, n_e = (8_000, 100_000) if quick else (60_000, 900_000)
+    graph = web_graph(n_v, n_e, seed=5)
+    region = StaticRegion(graph, capacity_bytes=graph.edge_array_bytes // 2,
+                          fill=fill, chunk_bytes=4096)
+    rng = np.random.default_rng(13)
+    mask = rng.random(graph.n_vertices) < 0.4
+    return graph, region, mask
+
+
+@register("frontier/expand_frontier", kind="micro",
+          description="materialize (source, position) pairs for a 30% frontier")
+def _bench_expand(quick: bool) -> Prepared:
+    graph, mask = _frontier_inputs(quick)
+    n_edges = active_edge_count(graph, mask)
+    return Prepared(fn=lambda: expand_frontier(graph, mask),
+                    units={"edges": float(n_edges)})
+
+
+@register("frontier/active_edge_count", kind="micro",
+          description="count a 30% frontier's edges (uncached walk)")
+def _bench_edge_count(quick: bool) -> Prepared:
+    graph, mask = _frontier_inputs(quick)
+    n_edges = active_edge_count(graph, mask)
+    return Prepared(fn=lambda: active_edge_count(graph, mask),
+                    units={"edges": float(n_edges)})
+
+
+@register("frontier/shared_iteration", kind="micro",
+          description="one iteration's frontier work through the shared cache"
+                      " (count + vertices + expansion, one mask walk)")
+def _bench_shared(quick: bool) -> Prepared:
+    graph, mask = _frontier_inputs(quick)
+    n_edges = active_edge_count(graph, mask)
+    cache = FrontierCache()
+
+    def run():
+        # What an engine + vertex program pay per iteration post-refactor:
+        # the engine's accounting count, then the program's expansion, all
+        # served by one walk.  A fresh mask object per call forces the
+        # cache to invalidate exactly as a real iteration does.
+        m = mask.copy()
+        cache.edge_count(graph, m)
+        cache.vertices(graph, m)
+        return cache.expansion(graph, m)
+
+    return Prepared(fn=run, units={"edges": float(n_edges)})
+
+
+@register("static_region/chunk_touch_counts", kind="micro",
+          description="per-chunk touch counts from a 40% active mask"
+                      " (adaptive range-marking, dense regime)")
+def _bench_touch_counts(quick: bool) -> Prepared:
+    graph, region, mask = _region_inputs(quick)
+    n_edges = active_edge_count(graph, mask)
+    return Prepared(fn=lambda: region.chunk_touch_counts(mask),
+                    units={"edges": float(n_edges),
+                           "chunks": float(region.n_chunks)})
+
+
+@register("static_region/promote_vertices", kind="micro",
+          description="lazy-fill promotion of a 40% mask into an empty region")
+def _bench_promote(quick: bool) -> Prepared:
+    graph, region, mask = _region_inputs(quick, fill="lazy")
+    n_edges = active_edge_count(graph, mask)
+
+    def run():
+        # Promotion mutates residency; reset so every repeat does the same
+        # work.  The reset is a cheap vectorized fill, charged to the
+        # benchmark uniformly across revisions.
+        region.resident[:] = False
+        region._vertex_bitmap = None
+        return region.promote_vertices(mask)
+
+    return Prepared(fn=run, units={"edges": float(n_edges),
+                                   "chunks": float(region.capacity_chunks)})
+
+
+@register("static_region/vertex_static_bitmap", kind="micro",
+          description="recompute the vertex-granularity StaticBitmap")
+def _bench_bitmap(quick: bool) -> Prepared:
+    graph, region, _ = _region_inputs(quick)
+
+    def run():
+        region._vertex_bitmap = None  # invalidate, as swap()/shrink_to() do
+        return region.vertex_static_bitmap()
+
+    return Prepared(fn=run, units={"vertices": float(graph.n_vertices)})
+
+
+@register("events/fold_metrics", kind="micro",
+          description="refold a recorded engine run's event log into Metrics")
+def _bench_fold(quick: bool) -> Prepared:
+    from repro.gpusim.events import fold_metrics
+    from repro.harness.experiments import make_workload, run_workload
+
+    w = make_workload("GS", "BFS", scale=_MACRO_SCALE[quick])
+    res = run_workload(w, "Ascetic", record_events=True)
+    events = res.event_log.events
+    return Prepared(fn=lambda: fold_metrics(events),
+                    units={"events": float(len(events))})
+
+
+def _engine_macro(engine: str, quick: bool) -> Prepared:
+    from repro.harness.experiments import make_workload, run_workload
+
+    w = make_workload("GS", "BFS", scale=_MACRO_SCALE[quick])
+    run_workload(w, engine)  # warm the dataset/program caches outside timing
+
+    def run():
+        return run_workload(w, engine)
+
+    return Prepared(fn=run, units={"edges": float(w.graph.n_edges)})
+
+
+@register("engine/ascetic_bfs", kind="macro",
+          description="full Ascetic BFS run on scaled GS (simulator overhead)")
+def _bench_ascetic(quick: bool) -> Prepared:
+    return _engine_macro("Ascetic", quick)
+
+
+@register("engine/subway_bfs", kind="macro",
+          description="full Subway BFS run on scaled GS (simulator overhead)")
+def _bench_subway(quick: bool) -> Prepared:
+    return _engine_macro("Subway", quick)
+
+
+@register("runner/grid_serial", kind="macro",
+          description="4-cell uncached grid through the runner (jobs=1)")
+def _bench_grid(quick: bool) -> Prepared:
+    from repro.runner import RunSpec, run_grid
+
+    scale = _MACRO_SCALE[quick]
+    specs = [
+        RunSpec(dataset="GS", algorithm=algo, engine=eng, scale=scale)
+        for algo in ("BFS", "CC")
+        for eng in ("Ascetic", "Subway")
+    ]
+
+    def run():
+        report = run_grid(specs, jobs=1, cache=None)
+        if report.n_failed:
+            raise RuntimeError("grid benchmark cell failed")
+        return report
+
+    run()  # warm dataset caches outside timing
+    return Prepared(fn=run, units={"cells": float(len(specs))})

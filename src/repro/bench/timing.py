@@ -1,0 +1,70 @@
+"""Best-of-N wall-clock timing.
+
+Best-of (not mean-of) is the standard estimator for CPU micro-benchmarks:
+the minimum over repeats approaches the true cost with the least
+interference from scheduler noise, frequency ramps and GC pauses, all of
+which only ever *add* time.  The mean is reported alongside as a noise
+indicator — a mean far above the best flags an untrustworthy run.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass
+from typing import Callable, List
+
+__all__ = ["Timing", "time_callable"]
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Wall-clock samples for one benchmark (seconds)."""
+
+    samples: List[float]
+
+    @property
+    def best(self) -> float:
+        return min(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def repeats(self) -> int:
+        return len(self.samples)
+
+
+def time_callable(
+    fn: Callable[[], object], repeats: int = 5, warmup: int = 1
+) -> Timing:
+    """Time ``fn()`` ``repeats`` times after ``warmup`` untimed calls.
+
+    The warmup absorbs one-time costs (lazy imports, allocator growth,
+    dataset caches) that would otherwise pollute the first sample.  GC is
+    disabled around each timed call so collection pauses land between
+    samples, not inside them.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    was_enabled = gc.isenabled()
+    try:
+        for _ in range(repeats):
+            gc.collect()
+            if was_enabled:
+                gc.disable()
+            t0 = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - t0)
+            if was_enabled:
+                gc.enable()
+    finally:
+        if was_enabled and not gc.isenabled():
+            gc.enable()
+    return Timing(samples=samples)

@@ -10,6 +10,8 @@ Exposes the experiment harness without writing Python::
     repro trace FK BFS --engine Ascetic -o run.json # Perfetto timeline
     repro grid --jobs 4                             # full 4x4x4 grid, cached
     repro chaos FK BFS --engine Subway --seed 7     # fault-injected run
+    repro bench --quick                             # wall-clock perf smoke
+    repro bench --against BENCH_abc123.json         # regression gate
 
 Every command prints the same fixed-width reports the benchmarks produce.
 ``grid`` (and ``compare``/``sweep-ratio`` with ``--jobs``) go through
@@ -139,6 +141,28 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-cell wall-clock budget in seconds")
     g_p.add_argument("--retries", type=int, default=1,
                      help="extra attempts for a failing cell (default 1)")
+
+    b_p = sub.add_parser(
+        "bench",
+        help="time the simulator's own hot paths (wall-clock, not modelled "
+             "seconds) and emit a schema-versioned BENCH_<rev>.json",
+    )
+    b_p.add_argument("--quick", action="store_true",
+                     help="smoke mode: smaller inputs, fewer repeats")
+    b_p.add_argument("--filter", default=None, metavar="SUBSTR",
+                     help="only run benchmarks whose name contains SUBSTR")
+    b_p.add_argument("--list", action="store_true", dest="list_only",
+                     help="list registered benchmarks and exit")
+    b_p.add_argument("-o", "--output", default=None,
+                     help="report path (default BENCH_<rev>.json; '-' to "
+                          "skip writing)")
+    b_p.add_argument("--against", default=None, metavar="REPORT",
+                     help="compare against a previous report; exit nonzero "
+                          "on regression")
+    b_p.add_argument("--threshold", type=float, default=None,
+                     help="fractional slowdown tolerated by --against "
+                          "(default 0.25; CI uses a looser cross-machine "
+                          "value)")
 
     ch_p = sub.add_parser(
         "chaos",
@@ -307,6 +331,80 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import (
+        all_benchmarks,
+        compare_reports,
+        default_report_name,
+        load_report,
+        make_report,
+        run_benchmarks,
+        write_report,
+    )
+
+    benches = all_benchmarks()
+    if args.filter:
+        benches = [b for b in benches if args.filter in b.name]
+    if not benches:
+        print(f"no benchmark matches {args.filter!r}", file=sys.stderr)
+        return 2
+    if args.list_only:
+        rows = [[b.name, b.kind, b.description] for b in benches]
+        print(format_table(["benchmark", "kind", "description"], rows,
+                           title="repro bench — registered benchmarks"))
+        return 0
+
+    names = {b.name for b in benches}
+    results = run_benchmarks(
+        names=names, quick=args.quick,
+        progress=lambda name: print(f"  running {name} ...", file=sys.stderr),
+    )
+    rows = []
+    for name, r in sorted(results.items()):
+        tput = ", ".join(
+            f"{v:.3g} {k.replace('_per_second', '/s')}"
+            for k, v in sorted(r["throughput"].items())
+        )
+        rows.append([name, r["kind"], f"{r['best_seconds'] * 1e3:.3f}ms",
+                     f"{r['mean_seconds'] * 1e3:.3f}ms", r["repeats"], tput])
+    mode = "quick" if args.quick else "full"
+    print(format_table(
+        ["benchmark", "kind", "best", "mean", "N", "throughput"], rows,
+        title=f"repro bench — host wall-clock, {mode} mode",
+    ))
+
+    report = make_report(results, quick=args.quick)
+    if args.output != "-":
+        out = args.output or default_report_name(report)
+        write_report(out, report)
+        print(f"\nwrote {out} (revision {report['revision']})")
+
+    if args.against:
+        baseline = load_report(args.against)
+        cmp = compare_reports(baseline, report, threshold=args.threshold)
+        rows = [
+            [d.name, f"{d.old_seconds * 1e3:.3f}ms",
+             f"{d.new_seconds * 1e3:.3f}ms", f"{d.ratio:.2f}x",
+             "REGRESSION" if d in cmp.regressions else "ok"]
+            for d in cmp.deltas
+        ]
+        print()
+        print(format_table(
+            ["benchmark", "baseline", "current", "ratio", "verdict"], rows,
+            title=f"vs {args.against} (threshold {cmp.threshold:.0%})",
+        ))
+        for name in cmp.only_old:
+            print(f"note: {name} only in baseline", file=sys.stderr)
+        for name in cmp.only_new:
+            print(f"note: {name} only in current run", file=sys.stderr)
+        if not cmp.ok:
+            print(f"error: {len(cmp.regressions)} benchmark(s) regressed "
+                  f"beyond {cmp.threshold:.0%}", file=sys.stderr)
+            return 1
+        print("no regressions")
+    return 0
+
+
 def _cmd_grid(args) -> int:
     engines = tuple(args.engines) if args.engines else registry.available()
     specs = grid_specs(args.datasets, args.algos, engines, scale=args.scale)
@@ -353,6 +451,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_grid(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

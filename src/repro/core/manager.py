@@ -31,7 +31,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram
-from repro.algorithms.frontier import active_edge_count
 from repro.core.bitmaps import split_active
 from repro.core.ondemand import plan_ondemand
 from repro.core.ratio import check_repartition
@@ -83,12 +82,17 @@ def run_iteration(
     static_bitmap = region.vertex_static_bitmap()
     smap, odmap = split_active(state.active, static_bitmap)
     plan = plan_ondemand(graph, odmap, _stream_cap(ondemand_alloc, region))
+    # StaticMap and OndemandMap partition the active mask, so the static
+    # edge count is the (memoized, already-paid-for) total minus the plan's
+    # on-demand count — no second walk over the mask.
+    total_edges = state.active_edges(graph)
+    static_edges = total_edges - plan.n_edges
 
     # ➋ Adaptive repartitioning (§3.3, Eq. 3).  During a lazy warm-up the
     # region is empty by construction, which would read as "under-utilized"
     # and shrink it to nothing — the check only makes sense once filled.
     if adaptive and not (lazy_fill and region.free_chunks > 0):
-        v_static = active_edge_count(graph, smap) * bpe
+        v_static = static_edges * bpe
         v_total = v_static + plan.edge_bytes
         decision = check_repartition(
             v_ondemand=plan.total_bytes,
@@ -111,8 +115,8 @@ def run_iteration(
             static_bitmap = region.vertex_static_bitmap()
             smap, odmap = split_active(state.active, static_bitmap)
             plan = plan_ondemand(graph, odmap, _stream_cap(ondemand_alloc, region))
+            static_edges = total_edges - plan.n_edges
 
-    static_edges = active_edge_count(graph, smap)
     out.static_edges = static_edges
     out.ondemand_edges = plan.n_edges
     out.ondemand_bytes = plan.total_bytes
@@ -180,9 +184,13 @@ def run_iteration(
         if swap.n_swaps:
             moved = region.swap(swap.evict, swap.load)
             out.swap_bytes = moved
-            gpu.cpu_gather(moved, label="swap-gather")
+            # The H2D copy must wait for the CPU to finish staging the
+            # incoming chunks — without the gate the copy engine would start
+            # the swap mid-gather, understating Tswap and overstating the
+            # §3.4 overlap the Fig. 8 breakdown isolates.
+            t_gather = gpu.cpu_gather(moved, label="swap-gather")
             with gpu.phase("Tswap"):
-                gpu.h2d(moved, label="static-swap")
+                gpu.h2d(moved, label="static-swap", after=t_gather)
 
     gpu.sync()
     return out

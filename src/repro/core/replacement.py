@@ -56,6 +56,14 @@ class HotnessTable:
             raise ValueError("policy must be 'last' or 'cumulative'")
         if stale_threshold < 0:
             raise ValueError("threshold must be non-negative")
+        if policy == "last" and stale_threshold > 1:
+            # ``last`` is binary (0/1), so any threshold above 1 marks every
+            # chunk — including ones touched in the previous iteration —
+            # stale, and the server churns the whole region pointlessly.
+            raise ValueError(
+                "stale_threshold must be 0 or 1 under the 'last' policy "
+                "(last[c] is binary; a higher threshold marks every chunk stale)"
+            )
         self.n_chunks = int(n_chunks)
         self.policy = policy
         self.stale_threshold = stale_threshold

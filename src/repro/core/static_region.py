@@ -19,10 +19,33 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 
-__all__ = ["StaticRegion", "DEFAULT_CHUNK_BYTES"]
+__all__ = ["StaticRegion", "DEFAULT_CHUNK_BYTES", "range_mark"]
 
 #: §3.4: 16 KB chunks.
 DEFAULT_CHUNK_BYTES = 16 * 1024
+
+
+def range_mark(lo: np.ndarray, hi_next: np.ndarray, n_bins: int) -> np.ndarray:
+    """Difference array for the range-mark trick: +1 at ``lo``, -1 at
+    ``hi_next``; ``cumsum(diff[:-1])`` then counts covering ranges per bin.
+
+    Two execution strategies with identical results, picked by regime:
+    with at least one index per bin, ``np.bincount`` wins — it streams the
+    indices without ``np.add.at``'s per-element dispatch; for sparse marks
+    over many bins, the two full-width arrays bincount allocates and
+    subtracts cost more than scattering into one preallocated array.  The
+    crossover sits near indices ≈ bins on this container's NumPy
+    (``repro bench static_region/chunk_touch_counts`` tracks the dense
+    case; the scaled Ascetic engine exercises the sparse one).
+    """
+    if lo.size >= n_bins:
+        diff = np.bincount(lo, minlength=n_bins + 1)
+        np.subtract(diff, np.bincount(hi_next, minlength=n_bins + 1), out=diff)
+        return diff
+    diff = np.zeros(n_bins + 1, dtype=np.int64)
+    np.add.at(diff, lo, 1)
+    np.add.at(diff, hi_next, -1)
+    return diff
 
 
 class StaticRegion:
@@ -59,6 +82,9 @@ class StaticRegion:
         self._has_edges = hi > lo
         self._c_lo = np.where(self._has_edges, lo // self.chunk_bytes, 0)
         self._c_hi = np.where(self._has_edges, (hi - 1) // self.chunk_bytes, -1)
+        # Scratch buffer reused by the per-iteration paths (bitmap/coverage
+        # prefix sums); contents are never live across calls.
+        self._cum_scratch = np.empty(self.n_chunks + 1, dtype=np.int64)
 
     def _fill(self, fill: str, seed: int) -> None:
         if fill not in ("lazy", "front", "rear", "random"):
@@ -79,15 +105,22 @@ class StaticRegion:
             # chunks would leave almost no vertex fully covered, while
             # random contiguous runs spread coverage evenly over the edge
             # array — the property §5's conjecture relies on.
+            # Draw fragments until the capacity is covered, then trim the
+            # overshoot: flooring the fragment count would strand up to
+            # ``fragment_chunks - 1`` chunks of capacity (and the tail
+            # fragment may be short), making the §5 fill-policy ablation
+            # compare regions of different effective size.
             rng = np.random.default_rng(seed)
             f = self.fragment_chunks
             n_frags = -(-self.n_chunks // f)
-            want = max(k // f, 1)
-            frags = rng.choice(n_frags, size=min(want, n_frags), replace=False)
-            for fr in frags:
-                self.resident[fr * f : min((fr + 1) * f, self.n_chunks)] = True
-            # Trim overshoot from the last fragment to respect capacity.
-            over = self.resident_chunks - k
+            got = 0
+            for fr in rng.permutation(n_frags):
+                lo, hi = fr * f, min((fr + 1) * f, self.n_chunks)
+                self.resident[lo:hi] = True
+                got += hi - lo
+                if got >= k:
+                    break
+            over = got - k
             if over > 0:
                 ids = np.nonzero(self.resident)[0]
                 self.resident[ids[-over:]] = False
@@ -111,26 +144,36 @@ class StaticRegion:
             if self.n_chunks == 0:
                 self._vertex_bitmap = np.ones(self.graph.n_vertices, dtype=bool)
             else:
-                cum = np.concatenate(([0], np.cumsum(self.resident)))
+                cum = self._resident_prefix()
                 span = self._c_hi - self._c_lo + 1
                 covered = cum[self._c_hi + 1] - cum[self._c_lo]
                 self._vertex_bitmap = np.where(self._has_edges, covered == span, True)
         return self._vertex_bitmap
 
+    def _resident_prefix(self) -> np.ndarray:
+        """Inclusive prefix sum of ``resident`` into the shared scratch.
+
+        ``out[i]`` = number of resident chunks with id < ``i``.  The scratch
+        is overwritten by the next per-iteration call — consume immediately.
+        """
+        cum = self._cum_scratch
+        cum[0] = 0
+        np.cumsum(self.resident, out=cum[1:])
+        return cum
+
     def chunk_touch_counts(self, active: np.ndarray) -> np.ndarray:
         """Per-chunk access counts from the active vertices' edge ranges.
 
-        Feeds the §3.4 hotness table.  Vectorized with the range-mark trick.
+        Feeds the §3.4 hotness table.  Vectorized with the regime-adaptive
+        :func:`range_mark` (see its docstring for the bincount/add.at
+        dispatch).
         """
-        counts = np.zeros(self.n_chunks, dtype=np.int64)
         if self.n_chunks == 0:
-            return counts
+            return np.zeros(0, dtype=np.int64)
         vs = np.nonzero(active & self._has_edges)[0]
         if vs.size == 0:
-            return counts
-        diff = np.zeros(self.n_chunks + 1, dtype=np.int64)
-        np.add.at(diff, self._c_lo[vs], 1)
-        np.add.at(diff, self._c_hi[vs] + 1, -1)
+            return np.zeros(self.n_chunks, dtype=np.int64)
+        diff = range_mark(self._c_lo[vs], self._c_hi[vs] + 1, self.n_chunks)
         return np.cumsum(diff[:-1])
 
     @property
@@ -156,15 +199,15 @@ class StaticRegion:
         if vs.size == 0:
             return 0
         c_lo, c_hi = self._c_lo[vs], self._c_hi[vs]
-        cum = np.concatenate(([0], np.cumsum(self.resident)))
+        cum = self._resident_prefix()
         new_per_vertex = (c_hi - c_lo + 1) - (cum[c_hi + 1] - cum[c_lo])
         take = np.cumsum(new_per_vertex) <= budget
         if not take.any():
             return 0
         c_lo, c_hi = c_lo[take], c_hi[take]
-        diff = np.zeros(self.n_chunks + 1, dtype=np.int64)
-        np.add.at(diff, c_lo, 1)
-        np.add.at(diff, c_hi + 1, -1)
+        # Same range-mark as chunk_touch_counts, but only coverage (> 0)
+        # matters, not the counts themselves.
+        diff = range_mark(c_lo, c_hi + 1, self.n_chunks)
         span = np.cumsum(diff[:-1]) > 0
         before = self.resident_chunks
         self.resident |= span

@@ -17,7 +17,6 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram
-from repro.algorithms.frontier import active_edge_count
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import GPUSpec, SimulatedGPU
 from repro.gpusim.events import EventLog
@@ -229,7 +228,9 @@ class Engine(abc.ABC):
             t0 = gpu.clock.now
             h2d0 = gpu.metrics.bytes_h2d
             n_active = state.n_active
-            n_edges = active_edge_count(graph, state.active)
+            # Memoized: the engine's accounting and the program's step
+            # reuse this same walk instead of re-expanding the mask.
+            n_edges = state.active_edges(graph)
             # The record is labelled with the superstep it *describes* —
             # the pre-step index — so a program whose ``step`` does not
             # bump ``state.iteration`` cannot produce an off-by-one (or,

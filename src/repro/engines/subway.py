@@ -21,7 +21,6 @@ in rounds, each a full gather → transfer → compute sequence.
 from __future__ import annotations
 
 from repro.algorithms.base import ProgramState, VertexProgram
-from repro.algorithms.frontier import active_edge_count
 from repro.engines.base import Engine, RunResult
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import SimulatedGPU
@@ -119,7 +118,7 @@ class SubwayEngine(Engine):
             offset_bytes = sub.offset_nbytes
             total_bytes = sub.nbytes
         else:
-            n_edges = active_edge_count(graph, state.active)
+            n_edges = state.active_edges(graph)
             edge_bytes = n_edges * graph.bytes_per_edge
             offset_bytes = state.n_active * OFFSET_BYTES_PER_ACTIVE_VERTEX
             total_bytes = edge_bytes + offset_bytes

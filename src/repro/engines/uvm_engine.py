@@ -116,18 +116,16 @@ class UVMEngine(Engine):
         lo, hi = lo[has], hi[has]
         if lo.size == 0:
             return np.empty(0, dtype=np.int64)
+        from repro.core.static_region import range_mark
+
         p_lo = lo // self._uvm.page_size
         p_hi = (hi - 1) // self._uvm.page_size
-        marks = np.zeros(self._uvm.n_pages + 1, dtype=np.int64)
-        np.add.at(marks, p_lo, 1)
-        np.add.at(marks, p_hi + 1, -1)
+        marks = range_mark(p_lo, p_hi + 1, self._uvm.n_pages)
         return np.nonzero(np.cumsum(marks[:-1]) > 0)[0]
 
     def _iteration(
         self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram, state: ProgramState
     ) -> None:
-        from repro.algorithms.frontier import active_edge_count
-
         pages = self._touched_pages(graph, state.active)
         access = self._uvm.touch(pages)
         prefetch_bytes = 0
@@ -141,7 +139,7 @@ class UVMEngine(Engine):
         if self.trace is not None:
             self.trace.record(gpu.clock.now, pages)
         gpu.vertex_scan(graph.n_vertices, passes=1, label="gen-active")
-        n_edges = active_edge_count(graph, state.active)
+        n_edges = state.active_edges(graph)
         spec = gpu.spec
         charged_bytes = int((access.bytes_migrated + prefetch_bytes) * gpu.charge_scale)
         fault_batches = -(-access.n_faults // spec.uvm_fault_batch) if access.n_faults else 0

@@ -83,3 +83,69 @@ class TestActiveEdgeCount:
         assert active_edge_count(small_web, active) == expand_frontier(
             small_web, active
         ).n_edges
+
+
+class TestFrontierCache:
+    """The per-iteration memo behind ``ProgramState.frontier()``."""
+
+    def test_matches_uncached(self, small_rmat):
+        from repro.algorithms.frontier import FrontierCache
+
+        rng = np.random.default_rng(7)
+        mask = rng.random(small_rmat.n_vertices) < 0.25
+        cache = FrontierCache()
+        exp = cache.expansion(small_rmat, mask)
+        ref = expand_frontier(small_rmat, mask)
+        assert np.array_equal(exp.sources, ref.sources)
+        assert np.array_equal(exp.positions, ref.positions)
+        assert cache.edge_count(small_rmat, mask) == ref.n_edges
+
+    def test_hit_returns_same_object(self, small_rmat):
+        from repro.algorithms.frontier import FrontierCache
+
+        mask = np.ones(small_rmat.n_vertices, dtype=bool)
+        cache = FrontierCache()
+        assert cache.expansion(small_rmat, mask) is cache.expansion(
+            small_rmat, mask
+        )
+
+    def test_new_mask_object_invalidates(self, small_rmat):
+        from repro.algorithms.frontier import FrontierCache
+
+        cache = FrontierCache()
+        full = np.ones(small_rmat.n_vertices, dtype=bool)
+        assert cache.edge_count(small_rmat, full) == small_rmat.n_edges
+        # A *different* mask object with different content recomputes.
+        empty = np.zeros(small_rmat.n_vertices, dtype=bool)
+        assert cache.edge_count(small_rmat, empty) == 0
+
+    def test_vertices_includes_zero_degree(self, small_rmat):
+        from repro.algorithms.frontier import FrontierCache
+
+        mask = np.ones(small_rmat.n_vertices, dtype=bool)
+        vs, counts = FrontierCache().vertices(small_rmat, mask)
+        assert vs.size == small_rmat.n_vertices
+        assert counts.sum() == small_rmat.n_edges
+
+
+class TestProgramStateFrontier:
+    def test_state_accessors_consistent(self, small_web):
+        from repro.algorithms import make_program
+
+        prog = make_program("CC")
+        state = prog.init_state(small_web)
+        exp = state.frontier(small_web)
+        assert state.active_edges(small_web) == exp.n_edges
+        vs, counts = state.active_vertices(small_web)
+        assert counts.sum() == exp.n_edges
+
+    def test_pickle_drops_cache_and_recovers(self, small_web):
+        import pickle
+
+        from repro.algorithms import make_program
+
+        prog = make_program("CC")
+        state = prog.init_state(small_web)
+        before = state.active_edges(small_web)
+        clone = pickle.loads(pickle.dumps(state))
+        assert clone.active_edges(small_web) == before

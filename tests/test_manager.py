@@ -129,6 +129,94 @@ class TestStreamingAggregate:
         assert m.bytes_h2d > 0
 
 
+class TestSwapCausality:
+    """§3.4 replacement must respect causality: the H2D swap copy cannot
+    start before the CPU finishes staging the incoming chunks.  Without the
+    gate, the copy lane (idle during the on-demand compute window) starts
+    the swap mid-gather, understating Tswap."""
+
+    @staticmethod
+    def _forced_swap_iteration():
+        """Drive one iteration that is guaranteed to plan a swap.
+
+        Front-filled region on an id-local web graph, active mask over the
+        rear ids only: the touch counts mark every resident (front) chunk
+        stale and the absent (rear) chunks hot, and the long on-demand
+        compute leaves the copy lane a wide §3.4 window.
+        """
+        from repro.core.manager import run_iteration
+        from repro.core.replacement import HotnessTable
+        from repro.core.static_region import StaticRegion
+        from repro.graph.generators import web_graph
+        from repro.gpusim.device import GPUSpec, SimulatedGPU
+
+        wg = web_graph(3000, 36000, seed=9)
+        region = StaticRegion(wg, capacity_bytes=wg.edge_array_bytes // 2,
+                              chunk_bytes=1024, fill="front",
+                              fragment_chunks=4)
+        spec = GPUSpec(memory_bytes=wg.dataset_bytes * 2)
+        gpu = SimulatedGPU(spec, record_events=True,
+                           charge_scale=1.0 / TEST_SCALE)
+        static_alloc = gpu.memory.alloc(
+            "static_region", region.capacity_chunks * region.chunk_bytes)
+        ondemand_alloc = gpu.memory.alloc(
+            "ondemand", max(wg.edge_array_bytes // 4, region.chunk_bytes))
+        program = make_program("CC")
+        state = program.init_state(wg)
+        active = np.zeros(wg.n_vertices, dtype=bool)
+        active[2 * wg.n_vertices // 3:] = True
+        state.active = active
+        hotness = HotnessTable(region.n_chunks, policy="last")
+        out = run_iteration(gpu, wg, program, state, region, hotness,
+                            static_alloc, ondemand_alloc, adaptive=False,
+                            fragment_chunks=4)
+        return gpu, out
+
+    def test_scenario_actually_swaps(self):
+        _, out = self._forced_swap_iteration()
+        assert out.swap_bytes > 0
+
+    def test_swap_transfer_waits_for_gather(self):
+        """Regression: pre-fix the H2D swap ignored the gather's completion
+        (no ``after=`` gate) and started as soon as the copy lane was free,
+        i.e. *before* its data existed."""
+        gpu, out = self._forced_swap_iteration()
+        assert out.swap_bytes > 0, "scenario failed to trigger a swap"
+        events = gpu.events.events
+        gathers = [e for e in events if e.label == "swap-gather"]
+        swaps = [e for e in events if e.label == "static-swap"]
+        assert len(gathers) == 1 and len(swaps) == 1
+        assert swaps[0].start >= gathers[0].end - 1e-12, (
+            f"static-swap started at {swaps[0].start} while its gather "
+            f"ran until {gathers[0].end}"
+        )
+
+    def test_engine_swap_events_ordered(self, graph):
+        """Every swap pair in a full engine run obeys the same ordering."""
+        spec = make_spec_for(graph, edge_fraction=0.4)
+        eng = AsceticEngine(spec=spec, data_scale=TEST_SCALE,
+                            record_events=True,
+                            config=AsceticConfig(fill="front",
+                                                 replacement=True))
+        res = eng.run(graph, make_program("PR", tol=1e-2))
+        last_gather_end = None
+        for e in res.event_log.events:
+            if e.label == "swap-gather":
+                last_gather_end = e.end
+            elif e.label == "static-swap":
+                assert last_gather_end is not None
+                assert e.start >= last_gather_end - 1e-12
+
+    def test_swap_scheduling_never_changes_values(self, graph):
+        """The fixed swap path is pure scheduling: results stay
+        bit-identical with replacement on or off."""
+        _, with_swaps = run(graph, AsceticConfig(fill="front",
+                                                 replacement=True))
+        _, without = run(graph, AsceticConfig(fill="front",
+                                              replacement=False))
+        assert np.array_equal(with_swaps.values, without.values)
+
+
 class TestReplacementScheduling:
     def test_swaps_happen_for_pr_front_fill(self, graph):
         spec = make_spec_for(graph, edge_fraction=0.4)

@@ -137,3 +137,26 @@ class TestPlanSwaps:
             assert not resident[plan.load].any()
             assert np.unique(plan.evict).size == plan.evict.size
             assert np.unique(plan.load).size == plan.load.size
+
+
+class TestConstructorValidation:
+    def test_last_policy_rejects_threshold_above_one(self):
+        """``last`` is binary, so any threshold > 1 would mark every chunk
+        stale — including ones touched in the previous iteration."""
+        with pytest.raises(ValueError, match="stale_threshold"):
+            table(8, policy="last", threshold=2)
+
+    @pytest.mark.parametrize("threshold", [0, 1])
+    def test_last_policy_accepts_binary_thresholds(self, threshold):
+        h = table(8, policy="last", threshold=threshold)
+        h.update(np.arange(8))
+        stale = h.staleness()
+        # Threshold 0 marks nothing stale; 1 marks exactly the untouched.
+        if threshold == 0:
+            assert not stale.any()
+        else:
+            assert np.array_equal(stale, h.last == 0)
+
+    def test_cumulative_policy_allows_large_thresholds(self):
+        h = table(8, policy="cumulative", threshold=5)
+        assert not h.staleness().any()

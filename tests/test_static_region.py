@@ -221,3 +221,64 @@ class TestPromote:
         assert promoted <= min(budget, r.capacity_chunks)
         assert r.resident_chunks <= r.capacity_chunks
         assert np.array_equal(r.vertex_static_bitmap(), brute_vertex_bitmap(r))
+
+
+def brute_touch_counts(region, active):
+    """Oracle: the pre-bincount ``np.add.at`` range-mark implementation."""
+    counts = np.zeros(region.n_chunks, dtype=np.int64)
+    vs = np.nonzero(active & region._has_edges)[0]
+    if vs.size == 0 or region.n_chunks == 0:
+        return counts
+    diff = np.zeros(region.n_chunks + 1, dtype=np.int64)
+    np.add.at(diff, region._c_lo[vs], 1)
+    np.add.at(diff, region._c_hi[vs] + 1, -1)
+    return np.cumsum(diff[:-1])
+
+
+class TestBincountRangeMark:
+    """The bincount-based touch counting must agree with the old
+    ``np.add.at`` scatter on every mask — same math, faster scatter."""
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_property_matches_add_at(self, bits):
+        g = rmat_graph(6, 600, seed=23, directed=True)
+        r = StaticRegion(g, g.edge_array_bytes // 2, chunk_bytes=16)
+        mask = np.array(
+            [(bits >> (i % 32)) & 1 for i in range(g.n_vertices)], dtype=bool
+        )
+        got = r.chunk_touch_counts(mask)
+        assert got.dtype == np.int64
+        assert np.array_equal(got, brute_touch_counts(r, mask))
+
+    def test_full_mask(self, graph):
+        r = StaticRegion(graph, graph.edge_array_bytes, chunk_bytes=32)
+        mask = np.ones(graph.n_vertices, dtype=bool)
+        assert np.array_equal(r.chunk_touch_counts(mask),
+                              brute_touch_counts(r, mask))
+
+    def test_empty_mask(self, graph):
+        r = StaticRegion(graph, graph.edge_array_bytes, chunk_bytes=32)
+        mask = np.zeros(graph.n_vertices, dtype=bool)
+        assert r.chunk_touch_counts(mask).sum() == 0
+
+
+class TestFillPolicyParity:
+    """All prefilling policies must charge the same number of chunks —
+    ``random`` used to floor to whole fragments and come up short."""
+
+    @pytest.mark.parametrize("capacity_frac", [0.1, 0.33, 0.5, 0.77, 1.0])
+    def test_same_resident_chunks(self, graph, capacity_frac):
+        cap = int(graph.edge_array_bytes * capacity_frac)
+        resident = {
+            fill: StaticRegion(graph, cap, chunk_bytes=8, fill=fill,
+                               fragment_chunks=7).resident_chunks
+            for fill in ("front", "rear", "random")
+        }
+        assert resident["front"] == resident["rear"] == resident["random"]
+
+    @given(st.integers(1, 2**14), st.integers(1, 16))
+    def test_property_random_fill_exact(self, cap, frag):
+        g = rmat_graph(6, 400, seed=31, directed=True)
+        r = StaticRegion(g, cap, chunk_bytes=8, fill="random", seed=3,
+                         fragment_chunks=frag)
+        assert r.resident_chunks == r.capacity_chunks
