@@ -33,6 +33,10 @@ Layout
     Batch execution: :class:`~repro.runner.spec.RunSpec` cells fanned out
     across worker processes with a persistent result cache and per-cell
     fault isolation (the CLI's ``repro grid``).
+``repro.serve``
+    Deterministic multi-tenant serving: seeded request traces, bounded
+    admission, graph-affinity scheduling over a warm engine pool,
+    multi-source batching, SLO folds (the CLI's ``repro serve``).
 
 Engines are looked up by name through :mod:`repro.engines.registry`;
 third-party engines registered there show up in the harness, the CLI and
@@ -50,6 +54,7 @@ from repro.engines.subway import SubwayEngine
 from repro.engines import registry
 from repro.core.ascetic import AsceticConfig, AsceticEngine
 from repro.runner import GridReport, ResultCache, RunSpec, run_grid
+from repro import serve
 
 __version__ = "1.1.0"
 
@@ -79,5 +84,7 @@ __all__ = [
     "ResultCache",
     "GridReport",
     "run_grid",
+    # serving layer
+    "serve",
     "__version__",
 ]

@@ -80,10 +80,12 @@ def make_report(results: Dict[str, dict], quick: bool = False) -> dict:
 
 
 def default_report_name(report: dict) -> str:
+    """Canonical ``BENCH_<rev>.json`` filename for a report."""
     return f"BENCH_{report['revision']}.json"
 
 
 def write_report(path: str, report: dict) -> str:
+    """Write a report as stable (sorted, indented) JSON; returns ``path``."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -91,6 +93,7 @@ def write_report(path: str, report: dict) -> str:
 
 
 def load_report(path: str) -> dict:
+    """Read and schema-check a ``BENCH_*.json`` report."""
     with open(path, "r", encoding="utf-8") as fh:
         report = json.load(fh)
     version = report.get("schema_version")

@@ -167,6 +167,49 @@ def _bench_subway(quick: bool) -> Prepared:
     return _engine_macro("Subway", quick)
 
 
+@register("serve/scheduler_decide", kind="micro",
+          description="one affinity-scheduler dispatch decision over a "
+                      "deep admission queue")
+def _bench_scheduler(quick: bool) -> Prepared:
+    from repro.serve.request import generate_requests
+    from repro.serve.scheduler import AffinityScheduler
+
+    n = 300 if quick else 1_500
+    items = generate_requests(
+        n_requests=n, seed=17, arrival_rate=50.0,
+        graphs=("GS", "FK", "UK"), algorithms=("BFS", "CC", "SSSP"),
+        tenants=("a", "b", "c"), priorities=(0, 1, 2), multi_source=2,
+    )
+    sched = AffinityScheduler(max_batch=4, aging_seconds=1e9)
+    warm = (("GS", "plain"), ("FK", "weighted"))
+    now = items[-1].arrival
+    return Prepared(fn=lambda: sched.select(items, now, warm),
+                    units={"requests": float(n)})
+
+
+@register("serve/slo_fold", kind="micro",
+          description="fold a recorded request-lifecycle event stream into "
+                      "the SLO report")
+def _bench_slo_fold(quick: bool) -> Prepared:
+    from repro.gpusim.events import SimEvent
+    from repro.serve.slo import fold_slo
+
+    n = 2_000 if quick else 10_000
+    events = []
+    for i in range(n):
+        t = i * 0.25
+        rid = (("request", float(i)), ("deadline", t + 30.0))
+        tenant = f"t{i % 4}/GS/BFS"
+        events.append(SimEvent("", "request-arrive", tenant, t, t, extra=rid))
+        events.append(SimEvent("", "request-admit", tenant, t, t, extra=rid))
+        events.append(SimEvent("", "request-start", tenant, t + 1.0, t + 1.0,
+                               extra=rid + (("batch", 1.0), ("warm", 1.0))))
+        events.append(SimEvent("", "request-complete", tenant, t + 3.0,
+                               t + 3.0, extra=rid))
+    return Prepared(fn=lambda: fold_slo(events),
+                    units={"events": float(len(events))})
+
+
 @register("runner/grid_serial", kind="macro",
           description="4-cell uncached grid through the runner (jobs=1)")
 def _bench_grid(quick: bool) -> Prepared:

@@ -10,6 +10,7 @@ Exposes the experiment harness without writing Python::
     repro trace FK BFS --engine Ascetic -o run.json # Perfetto timeline
     repro grid --jobs 4                             # full 4x4x4 grid, cached
     repro chaos FK BFS --engine Subway --seed 7     # fault-injected run
+    repro serve --quick -o slo.json                 # seeded SLO load test
     repro bench --quick                             # wall-clock perf smoke
     repro bench --against BENCH_abc123.json         # regression gate
 
@@ -163,6 +164,51 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fractional slowdown tolerated by --against "
                           "(default 0.25; CI uses a looser cross-machine "
                           "value)")
+
+    sv_p = sub.add_parser(
+        "serve",
+        help="run a seeded multi-tenant load test against an engine pool "
+             "and emit a schema-versioned SLO report",
+    )
+    sv_p.add_argument("--quick", action="store_true",
+                      help="the tiny pinned smoke config (CI's serve-smoke)")
+    sv_p.add_argument("--seed", type=int, default=0,
+                      help="workload-generator seed (default 0)")
+    sv_p.add_argument("--requests", type=int, default=24,
+                      help="offered requests (default 24)")
+    sv_p.add_argument("--rate", type=float, default=1.0,
+                      help="arrival rate, requests per simulated second")
+    sv_p.add_argument("--graphs", nargs="+", default=["GS"],
+                      choices=sorted(DATASETS), metavar="ABBR",
+                      help="datasets requests draw from (default GS)")
+    sv_p.add_argument("--algos", nargs="+", default=["BFS", "CC"],
+                      choices=ALGOS, metavar="ALGO",
+                      help="algorithms requests draw from (default BFS CC)")
+    sv_p.add_argument("--engine", default="Ascetic", choices=engine_choices)
+    sv_p.add_argument("--scale", type=float, default=BENCH_SCALE,
+                      help=f"dataset down-scale (default {BENCH_SCALE:g})")
+    sv_p.add_argument("--tenants", nargs="+", default=["t0", "t1"],
+                      metavar="NAME", help="tenant names (default t0 t1)")
+    sv_p.add_argument("--deadline", type=float, default=None,
+                      help="per-request deadline budget in simulated seconds")
+    sv_p.add_argument("--multi-source", type=int, default=1,
+                      help="explicit sources per BFS/SSSP request")
+    sv_p.add_argument("--queue-capacity", type=int, default=16,
+                      help="admission-queue bound (default 16)")
+    sv_p.add_argument("--queue-policy", default="reject",
+                      choices=("reject", "drop-oldest", "deadline"),
+                      help="backpressure policy when the queue is full")
+    sv_p.add_argument("--scheduler", default="affinity",
+                      choices=("fifo", "affinity"),
+                      help="dispatch order (default affinity)")
+    sv_p.add_argument("--max-batch", type=int, default=1,
+                      help="fuse up to N compatible traversals per dispatch")
+    sv_p.add_argument("--batch-wait", type=float, default=0.0,
+                      help="seconds to hold a free server for a fuller batch")
+    sv_p.add_argument("--max-engines", type=int, default=2,
+                      help="warm engine-pool size (default 2)")
+    sv_p.add_argument("-o", "--output", default=None,
+                      help="write the full JSON report (trace + SLO) here")
 
     ch_p = sub.add_parser(
         "chaos",
@@ -331,6 +377,71 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.serve import ServeConfig, quick_config, run_load_test
+
+    if args.quick:
+        config = quick_config(seed=args.seed)
+    else:
+        config = ServeConfig(
+            seed=args.seed,
+            n_requests=args.requests,
+            arrival_rate=args.rate,
+            graphs=tuple(args.graphs),
+            algorithms=tuple(a.upper() for a in args.algos),
+            tenants=tuple(args.tenants),
+            deadline=args.deadline,
+            multi_source=args.multi_source,
+            engine=args.engine,
+            scale=args.scale,
+            queue_capacity=args.queue_capacity,
+            queue_policy=args.queue_policy,
+            scheduler=args.scheduler,
+            max_batch=args.max_batch,
+            batch_wait=args.batch_wait,
+            max_engines=args.max_engines,
+        )
+    res = run_load_test(config)
+    report = res.report
+    counts = report["counts"]
+    rows = [[k, f"{v:g}"] for k, v in sorted(counts.items())]
+    rows += [
+        ["shed_rate", f"{report['shed_rate']:.2%}"],
+        ["throughput/s", f"{report['throughput_per_second']:.4g}"],
+        ["goodput/s", f"{report['goodput_per_second']:.4g}"],
+        ["warm hits/misses",
+         f"{report['warm']['hits']}/{report['warm']['misses']}"],
+        ["skipped fill", human_bytes(res.pool_stats.skipped_fill_bytes)],
+        ["refilled", human_bytes(res.pool_stats.refill_bytes)],
+    ]
+    print(format_table(
+        ["quantity", "value"], rows,
+        title=f"serve — {config.engine} pool, {config.scheduler} scheduler, "
+              f"seed {config.seed} ({res.horizon:.1f}s simulated)",
+    ))
+    lat = report["latency_seconds"]
+    lat_rows = [
+        [split, f"{lat[split]['p50']:.3f}", f"{lat[split]['p95']:.3f}",
+         f"{lat[split]['p99']:.3f}", f"{lat[split]['mean']:.3f}"]
+        for split in ("queue", "service", "e2e")
+    ]
+    print(format_table(["latency (s)", "p50", "p95", "p99", "mean"], lat_rows))
+    if args.output:
+        payload = res.trace_payload()
+        payload["digest"] = res.run_digest()
+        payload["pool"] = res.pool_stats.as_dict()
+        payload["tenant_accounts"] = {
+            name: acct.as_dict() for name, acct in sorted(res.tenants.items())
+        }
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    print(f"digest: {res.run_digest()}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import (
         all_benchmarks,
@@ -453,6 +564,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -180,6 +180,41 @@ class StaticRegion:
     def free_chunks(self) -> int:
         return self.capacity_chunks - self.resident_chunks
 
+    # --------------------------------------------------- residency handoff
+    def compatible_with(self, graph: CSRGraph, chunk_bytes: int) -> bool:
+        """Whether this region's residency is valid for a new run.
+
+        The chunk table indexes byte offsets of *this* edge array at *this*
+        chunk granularity; warm reuse across requests (the serving layer's
+        cross-request Static Region reuse) is only sound when both match.
+        Identity, not equality: a re-weighted or re-ordered graph changes
+        byte offsets even when vertex/edge counts agree.
+        """
+        return self.graph is graph and self.chunk_bytes == int(chunk_bytes)
+
+    def top_up(self, max_new_chunks: int | None = None) -> int:
+        """Refill free capacity with the lowest-id non-resident chunks.
+
+        The warm-start refill: after a capacity squeeze (or a capacity
+        grow-back) dropped part of a warm region, only the *missing* chunks
+        need transferring — the survivors are the whole point of the
+        handoff.  Marks up to ``max_new_chunks`` (default: all free
+        capacity) resident and returns the count; the caller charges the
+        corresponding gather + H2D.
+        """
+        budget = self.free_chunks if max_new_chunks is None else min(
+            self.free_chunks, int(max_new_chunks)
+        )
+        if budget <= 0 or self.n_chunks == 0:
+            return 0
+        missing = np.nonzero(~self.resident)[0]
+        take = missing[:budget]
+        if take.size == 0:
+            return 0
+        self.resident[take] = True
+        self._vertex_bitmap = None
+        return int(take.size)
+
     # ------------------------------------------------------------ mutation
     def promote_vertices(self, mask: np.ndarray, max_new_chunks: int | None = None) -> int:
         """Lazy fill: keep on-demand-fetched vertices' chunks in the region.

@@ -165,6 +165,19 @@ class Engine(abc.ABC):
         """Scale a paper-scale byte geometry down to this run's data scale."""
         return max(int(nbytes * self.data_scale), floor)
 
+    def reset_for_request(self, keep_static: bool = False) -> None:
+        """Ready this instance to serve another :meth:`run` on the same graph.
+
+        The serving layer (:mod:`repro.serve`) keeps engines in a per-graph
+        pool and calls this between consecutive requests.  ``keep_static``
+        asks the engine to carry device-resident state across the runs —
+        the cross-request analogue of the paper's cross-*iteration* reuse.
+        The base contract keeps nothing (every run is cold);
+        :class:`~repro.core.ascetic.AsceticEngine` overrides it to hand its
+        warm Static Region to the next run, skipping the fill phase.
+        """
+        self.resumed_iteration = None
+
     # ------------------------------------------------------------ interface
     @abc.abstractmethod
     def _prepare(self, gpu: SimulatedGPU, graph: CSRGraph, program: VertexProgram) -> None:

@@ -45,6 +45,7 @@ __all__ = [
     "IdleBreakdown",
     "COUNTER_FIELDS",
     "FAULT_KINDS",
+    "REQUEST_KINDS",
     "fold_metrics",
     "fold_spans",
     "fold_phase_seconds",
@@ -77,6 +78,17 @@ COUNTER_FIELDS: Tuple[str, ...] = (
 #: them separately so faults stand out in a Perfetto timeline.
 FAULT_KINDS = frozenset({
     "h2d-fault", "d2h-fault", "backoff", "kernel-abort",
+})
+
+#: Request-lifecycle marker kinds emitted by the serving layer
+#: (:mod:`repro.serve`): instant, lane-less events on the serve clock from
+#: which the SLO report is folded (:mod:`repro.serve.slo`).  ``warm-hit`` /
+#: ``warm-miss`` record whether a dispatch found a warm Static Region in
+#: the engine pool; an engine's own run log additionally carries a
+#: ``warm-hit`` marker with resident/refill chunk counts.
+REQUEST_KINDS = frozenset({
+    "request-arrive", "request-admit", "request-shed",
+    "request-start", "request-complete", "warm-hit", "warm-miss",
 })
 
 

@@ -15,6 +15,7 @@ Tables 4/5.  The harness pins the parameters the paper pins:
 
 from __future__ import annotations
 
+import threading
 import warnings
 from collections.abc import Mapping
 from dataclasses import dataclass
@@ -102,14 +103,34 @@ class Workload:
         return self.program_factory()
 
 
+#: Serializes dataset loads.  CPython's ``lru_cache`` is safe to *call*
+#: concurrently, but on a miss it may run the wrapped loader more than
+#: once for the same key and hand different callers *different* Dataset
+#: objects — which silently breaks everything keyed on graph object
+#: identity (the serve layer's warm Static Region reuse, the frontier
+#: cache).  The lock makes a concurrent miss load once and everyone see
+#: the same object.  The cache is per-process by design: grid workers
+#: each load their own copy (forked workers share the parent's warmed
+#: cache pages via :func:`repro.runner.executor._preload_datasets`);
+#: nothing here is safe to share *across* processes.
+_dataset_lock = threading.Lock()
+
+
 @lru_cache(maxsize=32)
-def _cached_dataset(abbr: str, scale: float) -> Dataset:
+def _cached_dataset_unlocked(abbr: str, scale: float) -> Dataset:
     return load_dataset(abbr, scale=scale)
+
+
+def _cached_dataset(abbr: str, scale: float) -> Dataset:
+    """Memoized, lock-serialized dataset load (single object per key)."""
+    with _dataset_lock:
+        return _cached_dataset_unlocked(abbr, scale)
 
 
 def clear_dataset_cache() -> None:
     """Drop memoized datasets (tests and memory-conscious sweeps)."""
-    _cached_dataset.cache_clear()
+    with _dataset_lock:
+        _cached_dataset_unlocked.cache_clear()
 
 
 def make_workload(

@@ -1,0 +1,102 @@
+"""Deterministic multi-tenant serving on top of the simulated engines.
+
+Ascetic's contribution is cross-*iteration* data reuse: a warm Static
+Region amortizes PCIe transfers across a run's supersteps (§3.2–3.3).
+This package lifts the same idea one level up, to cross-*request* reuse:
+consecutive requests against the same graph reuse a pooled engine's warm
+Static Region instead of re-filling it, and a graph-affinity scheduler
+orders dispatches to make that happen as often as fairness allows.
+
+The moving parts, each its own module:
+
+:mod:`~repro.serve.request`
+    Typed ``Request``/``Response``, affinity keys, and the open-loop
+    seeded-Poisson workload generator (simulated clock only — a seed
+    replays the exact trace).
+:mod:`~repro.serve.queue`
+    Bounded admission queue with reject / drop-oldest / deadline
+    backpressure and per-tenant fairness accounting.
+:mod:`~repro.serve.scheduler`
+    FIFO baseline and the graph-affinity policy with a starvation guard.
+:mod:`~repro.serve.pool`
+    The per-graph engine pool whose hits arm
+    ``Engine.reset_for_request(keep_static=True)`` — the warm-start path.
+:mod:`~repro.serve.batching`
+    Multi-source BFS/SSSP fused into one frontier program (shared edge
+    reads; the batch-size/latency knob).
+:mod:`~repro.serve.slo`
+    SLO report folded from request-lifecycle events (p50/p95/p99 split
+    queueing vs service, goodput, shed rate), schema-versioned and
+    digest-stable.
+:mod:`~repro.serve.simulator`
+    The single-server discrete-event loop tying it together;
+    ``repro serve`` on the CLI.
+
+Determinism contract: no wall clock, no unseeded randomness, no dict-order
+dependence anywhere in this package — ``run_load_test`` is a pure function
+of its config, and its digest is pinned in CI.  See ``docs/serving.md``.
+"""
+
+from repro.serve.batching import BatchedBFS, BatchedSSSP, make_batched
+from repro.serve.pool import EnginePool, PoolStats
+from repro.serve.queue import QUEUE_POLICIES, AdmissionQueue, TenantAccount
+from repro.serve.request import (
+    BATCHABLE,
+    Request,
+    RequestStatus,
+    Response,
+    engine_key,
+    generate_requests,
+    variant_for,
+)
+from repro.serve.scheduler import (
+    AffinityScheduler,
+    FifoScheduler,
+    Scheduler,
+    make_scheduler,
+)
+from repro.serve.simulator import (
+    LoadTestResult,
+    ServeConfig,
+    WorkloadCatalog,
+    quick_config,
+    run_load_test,
+)
+from repro.serve.slo import SLO_SCHEMA, fold_slo, report_digest
+
+__all__ = [
+    # requests + workload
+    "Request",
+    "Response",
+    "RequestStatus",
+    "BATCHABLE",
+    "variant_for",
+    "engine_key",
+    "generate_requests",
+    # admission
+    "AdmissionQueue",
+    "TenantAccount",
+    "QUEUE_POLICIES",
+    # scheduling
+    "Scheduler",
+    "FifoScheduler",
+    "AffinityScheduler",
+    "make_scheduler",
+    # warm engine pool
+    "EnginePool",
+    "PoolStats",
+    # batching
+    "BatchedBFS",
+    "BatchedSSSP",
+    "make_batched",
+    # SLO
+    "SLO_SCHEMA",
+    "fold_slo",
+    "report_digest",
+    # load tests
+    "ServeConfig",
+    "WorkloadCatalog",
+    "LoadTestResult",
+    "run_load_test",
+    "quick_config",
+]

@@ -1,0 +1,161 @@
+"""SLO metrics as a pure fold over request-lifecycle events.
+
+The load-test simulator narrates every request through instant marker
+events (:data:`repro.gpusim.events.REQUEST_KINDS`) on the serve clock:
+``request-arrive`` (label ``tenant/graph/algo``, with the deadline in
+``extra``), ``request-admit``, ``request-shed`` (label = reason),
+``request-start`` (batch size + warm flag in ``extra``) and
+``request-complete``; ``warm-hit`` / ``warm-miss`` record each dispatch's
+pool outcome.  :func:`fold_slo` replays that stream into the
+schema-versioned SLO report — the same replayability contract the rest of
+the repo uses (metrics are folds over the event log, never separately
+maintained truth).
+
+Percentiles use the nearest-rank method on the sorted sample: no
+interpolation, no float averaging of neighbors, so the report is a pure
+function of the event stream and digests bit-identically across runs —
+:func:`report_digest` is what the CI smoke job pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any, Dict, Iterable, List
+
+from repro.gpusim.events import SimEvent
+
+__all__ = ["SLO_SCHEMA", "fold_slo", "report_digest", "canonical_json"]
+
+#: Report schema identifier; bump on any shape change.
+SLO_SCHEMA = "repro.serve/1"
+
+
+def _percentiles(samples: List[float]) -> Dict[str, float]:
+    """Nearest-rank p50/p95/p99 plus mean/max over ``samples``."""
+    if not samples:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    ordered = sorted(samples)
+    n = len(ordered)
+
+    def rank(p: float) -> float:
+        return ordered[min(max(math.ceil(p * n), 1), n) - 1]
+
+    return {
+        "p50": rank(0.50),
+        "p95": rank(0.95),
+        "p99": rank(0.99),
+        "mean": sum(ordered) / n,
+        "max": ordered[-1],
+    }
+
+
+def fold_slo(events: Iterable[SimEvent], horizon: float | None = None) -> Dict[str, Any]:
+    """Fold request-lifecycle markers into the SLO report dict.
+
+    ``horizon`` (the load test's end time) defaults to the latest event
+    timestamp; goodput and throughput are completions per simulated
+    second over it.
+    """
+    arrive: Dict[int, SimEvent] = {}
+    start: Dict[int, SimEvent] = {}
+    complete: Dict[int, SimEvent] = {}
+    shed: Dict[int, SimEvent] = {}
+    admitted = 0
+    warm_hits = 0
+    warm_misses = 0
+    last_t = 0.0
+    for e in events:
+        last_t = max(last_t, e.end)
+        extra = dict(e.extra)
+        rid = int(extra["request"]) if "request" in extra else None
+        if e.kind == "request-arrive":
+            arrive[rid] = e
+        elif e.kind == "request-admit":
+            admitted += 1
+        elif e.kind == "request-shed":
+            shed[rid] = e
+        elif e.kind == "request-start":
+            start[rid] = e
+        elif e.kind == "request-complete":
+            complete[rid] = e
+        elif e.kind == "warm-hit":
+            warm_hits += 1
+        elif e.kind == "warm-miss":
+            warm_misses += 1
+    if horizon is None:
+        horizon = last_t
+
+    e2e: List[float] = []
+    queue: List[float] = []
+    service: List[float] = []
+    deadline_met = 0
+    tenants: Dict[str, Dict[str, float]] = {}
+
+    def tenant_of(event: SimEvent) -> str:
+        return event.label.split("/", 2)[0]
+
+    def tenant_bucket(name: str) -> Dict[str, float]:
+        bucket = tenants.get(name)
+        if bucket is None:
+            bucket = tenants[name] = {
+                "arrived": 0, "shed": 0, "completed": 0,
+                "e2e_seconds": 0.0, "service_seconds": 0.0,
+            }
+        return bucket
+
+    for rid, ev in sorted(arrive.items()):
+        tenant_bucket(tenant_of(ev))["arrived"] += 1
+    for rid, ev in sorted(shed.items()):
+        src = arrive.get(rid, ev)
+        tenant_bucket(tenant_of(src))["shed"] += 1
+    for rid, done in sorted(complete.items()):
+        came = arrive.get(rid)
+        began = start.get(rid)
+        if came is None or began is None:
+            continue  # torn lifecycle (clipped log) — not countable
+        e2e.append(done.end - came.start)
+        queue.append(began.start - came.start)
+        service.append(done.end - began.start)
+        deadline = dict(came.extra).get("deadline", -1.0)
+        if deadline < 0 or done.end <= deadline:
+            deadline_met += 1
+        bucket = tenant_bucket(tenant_of(came))
+        bucket["completed"] += 1
+        bucket["e2e_seconds"] += done.end - came.start
+        bucket["service_seconds"] += done.end - began.start
+
+    arrived = len(arrive)
+    completed = len(complete)
+    return {
+        "schema": SLO_SCHEMA,
+        "horizon_seconds": horizon,
+        "counts": {
+            "arrived": arrived,
+            "admitted": admitted,
+            "shed": len(shed),
+            "completed": completed,
+            "deadline_met": deadline_met,
+        },
+        "latency_seconds": {
+            "e2e": _percentiles(e2e),
+            "queue": _percentiles(queue),
+            "service": _percentiles(service),
+        },
+        "throughput_per_second": completed / horizon if horizon > 0 else 0.0,
+        "goodput_per_second": deadline_met / horizon if horizon > 0 else 0.0,
+        "shed_rate": len(shed) / arrived if arrived else 0.0,
+        "warm": {"hits": warm_hits, "misses": warm_misses},
+        "tenants": {name: tenants[name] for name in sorted(tenants)},
+    }
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical serialization every digest is taken over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def report_digest(report: Dict[str, Any]) -> str:
+    """Short stable digest of a report (what the CI smoke job pins)."""
+    return hashlib.sha256(canonical_json(report).encode("utf-8")).hexdigest()[:16]

@@ -152,3 +152,45 @@ class TestPersistenceIntegration:
         assert loaded["algorithm"] == "BFS"
         assert loaded["extra"]["static_ratio"] == res.extra["static_ratio"]
         assert len(loaded["per_iteration"]) == res.iterations
+
+
+class TestDatasetCacheConcurrency:
+    """The memoized dataset load is lock-serialized: a concurrent miss must
+    run the loader once and hand every caller the *same* Dataset object —
+    object identity is what the serve layer's warm-region validity and the
+    frontier cache key on, so a duplicate load is silent breakage."""
+
+    def test_concurrent_miss_loads_once_and_shares_the_object(self, monkeypatch):
+        import threading
+        import time
+
+        from repro.harness import experiments
+
+        calls = []
+        real_load = experiments.load_dataset
+
+        def slow_counting_load(abbr, scale):
+            calls.append(abbr)
+            time.sleep(0.05)  # widen the race window lru_cache alone loses
+            return real_load(abbr, scale=scale)
+
+        monkeypatch.setattr(experiments, "load_dataset", slow_counting_load)
+        clear_dataset_cache()
+        try:
+            results = [None] * 8
+            barrier = threading.Barrier(len(results))
+
+            def worker(i):
+                barrier.wait()
+                results[i] = experiments._cached_dataset("GS", SCALE)
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(len(results))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert calls == ["GS"]  # loaded exactly once
+            assert all(r is results[0] for r in results)  # one shared object
+        finally:
+            clear_dataset_cache()  # drop the monkeypatched-loader's product

@@ -70,6 +70,15 @@ MODULES = [
     "repro.runner.spec",
     "repro.runner.cache",
     "repro.runner.executor",
+    "repro.serve",
+    "repro.serve.request",
+    "repro.serve.queue",
+    "repro.serve.scheduler",
+    "repro.serve.pool",
+    "repro.serve.batching",
+    "repro.serve.slo",
+    "repro.serve.simulator",
+    "repro.bench",
     "repro.cli",
 ]
 
@@ -131,6 +140,7 @@ def test_top_level_surface_pinned():
         "ResultCache",
         "GridReport",
         "run_grid",
+        "serve",
         "__version__",
     }
 
