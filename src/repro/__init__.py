@@ -47,12 +47,20 @@ from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.gpusim.device import GPUSpec, SimulatedGPU
 from repro.gpusim.faults import FaultPlan, standard_plan
-from repro.engines.base import Engine, IterationRecord, RunResult
+from repro.engines.base import (
+    AccessPath,
+    Engine,
+    IterationRecord,
+    RunResult,
+    TransferPolicy,
+)
 from repro.engines.partition_based import PartitionEngine
 from repro.engines.uvm_engine import UVMEngine
 from repro.engines.subway import SubwayEngine
 from repro.engines import registry
+from repro.engines.registry import EngineInfo
 from repro.core.ascetic import AsceticConfig, AsceticEngine
+from repro.engines.hybrid import HybridEngine
 from repro.runner import GridReport, ResultCache, RunSpec, run_grid
 from repro import serve
 
@@ -68,13 +76,17 @@ __all__ = [
     "SimulatedGPU",
     # engine surface
     "Engine",
+    "EngineInfo",
     "IterationRecord",
     "RunResult",
+    "AccessPath",
+    "TransferPolicy",
     "PartitionEngine",
     "UVMEngine",
     "SubwayEngine",
     "AsceticEngine",
     "AsceticConfig",
+    "HybridEngine",
     "registry",
     # chaos mode
     "FaultPlan",

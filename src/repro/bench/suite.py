@@ -167,6 +167,12 @@ def _bench_subway(quick: bool) -> Prepared:
     return _engine_macro("Subway", quick)
 
 
+@register("engine/hybrid_bfs", kind="macro",
+          description="full Hybrid BFS run on scaled GS (simulator overhead)")
+def _bench_hybrid(quick: bool) -> Prepared:
+    return _engine_macro("Hybrid", quick)
+
+
 @register("serve/scheduler_decide", kind="micro",
           description="one affinity-scheduler dispatch decision over a "
                       "deep admission queue")

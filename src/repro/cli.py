@@ -63,8 +63,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="print the Table-3 dataset inventory")
+    sub.add_parser("engines",
+                   help="print the registered engines and their capabilities")
 
     engine_choices = sorted(registry.available())
+    engine_help = ("engine name; `repro engines` prints each one's "
+                   "capabilities and accepted options")
 
     def common(sp):
         sp.add_argument("--dataset", required=True, choices=sorted(DATASETS),
@@ -82,7 +86,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run one engine on one workload")
     common(run_p)
-    run_p.add_argument("--engine", default="Ascetic", choices=engine_choices)
+    run_p.add_argument("--engine", default="Ascetic", choices=engine_choices,
+                      help=engine_help)
     run_p.add_argument("--fill", default=None,
                        choices=("lazy", "front", "rear", "random"),
                        help="Ascetic static-region fill policy")
@@ -109,7 +114,8 @@ def build_parser() -> argparse.ArgumentParser:
     tr_p.add_argument("dataset", choices=sorted(DATASETS),
                       help="Table-3 dataset abbreviation")
     tr_p.add_argument("algo", choices=ALGOS, help="vertex program")
-    tr_p.add_argument("--engine", default="Ascetic", choices=engine_choices)
+    tr_p.add_argument("--engine", default="Ascetic", choices=engine_choices,
+                      help=engine_help)
     tr_p.add_argument("--scale", type=float, default=BENCH_SCALE,
                       help=f"dataset down-scale (default {BENCH_SCALE:g})")
     tr_p.add_argument("--memory-bytes", type=int, default=None,
@@ -184,7 +190,8 @@ def build_parser() -> argparse.ArgumentParser:
     sv_p.add_argument("--algos", nargs="+", default=["BFS", "CC"],
                       choices=ALGOS, metavar="ALGO",
                       help="algorithms requests draw from (default BFS CC)")
-    sv_p.add_argument("--engine", default="Ascetic", choices=engine_choices)
+    sv_p.add_argument("--engine", default="Ascetic", choices=engine_choices,
+                      help=engine_help)
     sv_p.add_argument("--scale", type=float, default=BENCH_SCALE,
                       help=f"dataset down-scale (default {BENCH_SCALE:g})")
     sv_p.add_argument("--tenants", nargs="+", default=["t0", "t1"],
@@ -218,7 +225,8 @@ def build_parser() -> argparse.ArgumentParser:
     ch_p.add_argument("dataset", choices=sorted(DATASETS),
                       help="Table-3 dataset abbreviation")
     ch_p.add_argument("algo", choices=ALGOS, help="vertex program")
-    ch_p.add_argument("--engine", default="Ascetic", choices=engine_choices)
+    ch_p.add_argument("--engine", default="Ascetic", choices=engine_choices,
+                      help=engine_help)
     ch_p.add_argument("--seed", type=int, default=0,
                       help="fault-injector seed (default 0)")
     ch_p.add_argument("--scale", type=float, default=BENCH_SCALE,
@@ -239,6 +247,25 @@ def _cmd_datasets() -> int:
     print(format_table(
         ["abbr", "name", "vertices", "edges", "direction", "kind"], rows,
         title="Table 3 — datasets (paper-scale counts; loaded scaled)",
+    ))
+    return 0
+
+
+def _cmd_engines() -> int:
+    rows = []
+    for name in registry.available():
+        info = registry.describe(name)
+        opts = ("any (unvalidated)" if info.supported_engine_opts is None
+                else ", ".join(info.supported_engine_opts) or "-")
+        rows.append([
+            name,
+            "yes" if info.supports_warm_start else "no",
+            opts,
+            info.transfer_policy or "-",
+        ])
+    print(format_table(
+        ["engine", "warm-start", "engine opts", "transfer policy"], rows,
+        title="Registered engines (registry.describe)",
     ))
     return 0
 
@@ -550,6 +577,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "datasets":
         return _cmd_datasets()
+    if args.command == "engines":
+        return _cmd_engines()
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "compare":

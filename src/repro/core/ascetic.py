@@ -18,7 +18,7 @@ from repro.core.manager import IterationOutcome, run_iteration
 from repro.core.ratio import region_bytes, static_ratio
 from repro.core.replacement import HotnessTable
 from repro.core.static_region import DEFAULT_CHUNK_BYTES, StaticRegion
-from repro.engines.base import Engine, RunResult
+from repro.engines.base import Engine, RegionPolicy, RunResult
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import GPUSpec, SimulatedGPU
 
@@ -283,6 +283,9 @@ class AsceticEngine(Engine):
             policy=cfg.policy_for(program),
             stale_threshold=cfg.stale_threshold,
         )
+        #: Ascetic's policy through the shared API: chunks resident in the
+        #: Static Region compute in place, the rest are CPU-gathered (§3.3).
+        self.transfer_policy = RegionPolicy(self._region)
         self._warm_hit = warm
         self._warm_invalidated = invalidated
         if warm:
@@ -338,6 +341,8 @@ class AsceticEngine(Engine):
                 adaptive=cfg.adaptive,
                 lazy_fill=cfg.fill == "lazy",
                 fragment_chunks=self._fragment_chunks,
+                policy=self.transfer_policy,
+                engine_label=self.name,
             )
         )
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram
+from repro.engines.base import emit_access_plan
 from repro.core.bitmaps import split_active
 from repro.core.ondemand import plan_ondemand
 from repro.core.ratio import check_repartition
@@ -70,6 +71,8 @@ def run_iteration(
     adaptive: bool = True,
     lazy_fill: bool = False,
     fragment_chunks: int = 64,
+    policy=None,
+    engine_label: str = "Ascetic",
 ) -> IterationOutcome:
     """Schedule one iteration; returns its accounting."""
     out = IterationOutcome()
@@ -122,6 +125,18 @@ def run_iteration(
     out.ondemand_bytes = plan.total_bytes
     out.n_rounds = plan.n_rounds
 
+    # Per-chunk decisions through the shared TransferPolicy API: the
+    # movement scheduled below follows them.  Touch counts are computed
+    # once here and reused for the hotness update in step ➍½ (the active
+    # mask does not change mid-iteration, so the values are identical).
+    touch = region.chunk_touch_counts(state.active)
+    if policy is not None:
+        touched_ids = np.nonzero(touch)[0]
+        if touched_ids.size:
+            paths = policy.plan(state.iteration, touched_ids,
+                                touch[touched_ids], hotness)
+            emit_access_plan(gpu, engine_label, "chunk", touched_ids, paths)
+
     # ➌ Static computing — overlapped (or not) with the on-demand chain.
     if overlap:
         with gpu.phase("Tsr"):
@@ -168,7 +183,7 @@ def run_iteration(
     # ➍½ Lazy fill: on-demand data that just landed on the device is kept
     # in the Static Region while there is room (a device-side copy, free of
     # PCIe traffic).  Once the region is full, §3.4 replacement takes over.
-    hotness.update(region.chunk_touch_counts(state.active))
+    hotness.update(touch)
     if lazy_fill and region.free_chunks > 0:
         promoted = region.promote_vertices(odmap)
         out.promoted_chunks = promoted

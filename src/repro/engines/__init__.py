@@ -18,19 +18,46 @@ surface.  All engines run the same
 vertex values; they differ only in how edge data reaches the simulated GPU —
 which is the entire subject of the paper.
 
+A fifth engine, :class:`~repro.engines.hybrid.HybridEngine`, goes beyond
+the paper: it chooses per chunk among explicit migration, CPU gathering,
+and zero-copy direct access from measured hotness (the HyTGraph/EMOGI
+direction).  Every engine expresses its per-granule decision rule through
+the :class:`~repro.engines.base.TransferPolicy` API, so the choice of
+:class:`~repro.engines.base.AccessPath` is introspectable and visible in
+traces uniformly.
+
 Engine lookup by name goes through :mod:`repro.engines.registry`; the
-built-in four (``PT``, ``UVM``, ``Subway``, ``Ascetic``) are pre-registered.
+built-in five (``PT``, ``UVM``, ``Subway``, ``Ascetic``, ``Hybrid``) are
+pre-registered with :class:`~repro.engines.registry.EngineInfo` capability
+metadata.
 """
 
-from repro.engines.base import Engine, IterationRecord, RunResult
+from repro.engines.base import (
+    AccessPath,
+    Engine,
+    FixedPolicy,
+    IterationRecord,
+    PinnedPrefixPolicy,
+    RegionPolicy,
+    RunResult,
+    TransferPolicy,
+)
 from repro.engines.partition_based import PartitionEngine
 from repro.engines.uvm_engine import UVMEngine
 from repro.engines.subway import SubwayEngine
 from repro.core.ascetic import AsceticConfig, AsceticEngine
+from repro.engines.hybrid import HybridEngine, HybridPolicy
 from repro.engines import registry
+from repro.engines.registry import EngineInfo
 
 __all__ = [
+    "AccessPath",
+    "TransferPolicy",
+    "FixedPolicy",
+    "RegionPolicy",
+    "PinnedPrefixPolicy",
     "Engine",
+    "EngineInfo",
     "IterationRecord",
     "RunResult",
     "PartitionEngine",
@@ -38,5 +65,7 @@ __all__ = [
     "SubwayEngine",
     "AsceticEngine",
     "AsceticConfig",
+    "HybridEngine",
+    "HybridPolicy",
     "registry",
 ]

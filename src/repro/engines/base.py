@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from enum import IntEnum
+from typing import Callable, Dict, List, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -24,11 +25,150 @@ from repro.gpusim.faults import FaultInjector, FaultPlan
 from repro.gpusim.memory import Allocation, GPUOutOfMemory
 from repro.gpusim.metrics import Metrics
 
-__all__ = ["Engine", "IterationRecord", "RunResult"]
+__all__ = [
+    "AccessPath",
+    "TransferPolicy",
+    "FixedPolicy",
+    "RegionPolicy",
+    "PinnedPrefixPolicy",
+    "emit_access_plan",
+    "Engine",
+    "IterationRecord",
+    "RunResult",
+]
 
 #: Optional per-iteration observer: ``hook(engine, gpu, graph, state)`` runs
 #: before each superstep (used by the analysis tooling to trace accesses).
 IterationHook = Callable[["Engine", SimulatedGPU, CSRGraph, ProgramState], None]
+
+
+class AccessPath(IntEnum):
+    """How one granule of edge data reaches the GPU this iteration.
+
+    Small int codes so a policy's plan is a compact numpy array.  The
+    *granule* is whatever unit the engine moves data in — 16 KB chunks for
+    Ascetic/Hybrid, UVM pages, whole partitions, Subway gather rounds.
+    """
+
+    #: Already in device memory (Static Region chunk, pinned partition).
+    RESIDENT = 0
+    #: Explicit bulk copy of the whole granule; it becomes resident.
+    MIGRATE = 1
+    #: CPU gathers the needed bytes into staging, then one bulk copy.
+    GATHER = 2
+    #: Zero-copy loads over the link; nothing becomes resident.
+    DIRECT = 3
+
+
+@runtime_checkable
+class TransferPolicy(Protocol):
+    """Per-granule transfer decisions — the introspectable engine contract.
+
+    Engines call :meth:`plan` once per iteration with the granules the
+    frontier touches; the returned path codes drive (or, for the fixed
+    single-path engines, describe) the iteration's data movement and are
+    emitted into the event log via :func:`emit_access_plan`, so every
+    engine's policy is visible in traces through the same API.
+    """
+
+    def plan(self, iteration: int, chunk_ids: np.ndarray,
+             touch_counts: Optional[np.ndarray] = None,
+             hotness=None) -> np.ndarray:
+        """Path codes (``AccessPath`` values, int8) for ``chunk_ids``.
+
+        ``touch_counts`` is this iteration's active-vertex count per
+        granule and ``hotness`` the engine's
+        :class:`~repro.core.replacement.HotnessTable`; fixed policies may
+        ignore both.
+        """
+        ...
+
+
+@dataclass(frozen=True)
+class FixedPolicy:
+    """Every granule takes the same path (Subway's gather, UVM's direct)."""
+
+    path: AccessPath
+
+    def plan(self, iteration: int, chunk_ids: np.ndarray,
+             touch_counts: Optional[np.ndarray] = None,
+             hotness=None) -> np.ndarray:
+        return np.full(len(chunk_ids), int(self.path), dtype=np.int8)
+
+
+class RegionPolicy:
+    """RESIDENT for granules resident in a Static Region, else a fixed path.
+
+    Ascetic's policy: chunks inside the Static Region are computed in
+    place, everything else is CPU-gathered on demand (§3.3).  Residency is
+    read live from the region, so the plan tracks swaps and repartitions.
+    """
+
+    def __init__(self, region, fallback: AccessPath = AccessPath.GATHER) -> None:
+        self.region = region
+        self.fallback = AccessPath(fallback)
+
+    def plan(self, iteration: int, chunk_ids: np.ndarray,
+             touch_counts: Optional[np.ndarray] = None,
+             hotness=None) -> np.ndarray:
+        paths = np.full(len(chunk_ids), int(self.fallback), dtype=np.int8)
+        if len(chunk_ids):
+            ids = np.asarray(chunk_ids, dtype=np.int64)
+            paths[self.region.resident[ids]] = int(AccessPath.RESIDENT)
+        return paths
+
+
+@dataclass(frozen=True)
+class PinnedPrefixPolicy:
+    """RESIDENT for the first ``n_pinned`` granules, else bulk MIGRATE.
+
+    The partition-based engine's policy: pinned partitions stay on device,
+    touched streamed partitions are shipped whole.
+    """
+
+    n_pinned: int
+
+    def plan(self, iteration: int, chunk_ids: np.ndarray,
+             touch_counts: Optional[np.ndarray] = None,
+             hotness=None) -> np.ndarray:
+        ids = np.asarray(chunk_ids, dtype=np.int64)
+        paths = np.full(len(ids), int(AccessPath.MIGRATE), dtype=np.int8)
+        paths[ids < self.n_pinned] = int(AccessPath.RESIDENT)
+        return paths
+
+
+def emit_access_plan(gpu: SimulatedGPU, engine: str, granule: str,
+                     chunk_ids: np.ndarray, paths: np.ndarray) -> None:
+    """Record one iteration's transfer decisions in the event log.
+
+    Always emits one counter-less summary marker (per-path granule counts
+    in ``extra`` — markers without counters leave ``Metrics`` and lean-mode
+    digests untouched).  In recorded mode it additionally emits one marker
+    per contiguous same-path run of granule ids, which is what makes the
+    per-chunk decision visible in an exported Chrome trace.
+    """
+    log = gpu.events
+    now = gpu.clock.now
+    counts = np.bincount(np.asarray(paths, dtype=np.int64), minlength=4)
+    summary = tuple(
+        (path.name.lower(), float(counts[path])) for path in AccessPath
+        if counts[path]
+    )
+    log.marker("access-path", f"{engine}:{granule}", now, extra=summary)
+    if not log.record or not len(chunk_ids):
+        return
+    ids = np.asarray(chunk_ids, dtype=np.int64)
+    codes = np.asarray(paths, dtype=np.int64)
+    breaks = np.nonzero((np.diff(codes) != 0) | (np.diff(ids) != 1))[0] + 1
+    starts = np.concatenate(([0], breaks))
+    ends = np.concatenate((breaks, [len(ids)]))
+    for lo, hi in zip(starts, ends):
+        log.marker(
+            "access-path", AccessPath(codes[lo]).name.lower(), now,
+            extra=((f"{granule}_lo", float(ids[lo])),
+                   (f"{granule}_hi", float(ids[hi - 1])),
+                   ("n", float(hi - lo))),
+        )
 
 
 @dataclass(frozen=True)
@@ -129,6 +269,12 @@ class Engine(abc.ABC):
     """
 
     name: str = "?"
+
+    #: The engine's per-granule :class:`TransferPolicy`.  Subclasses set it
+    #: (in ``__init__`` or ``_prepare``) so the decision rule is a
+    #: first-class, introspectable object instead of logic buried in
+    #: ``_iteration``; ``None`` means the engine has not declared one.
+    transfer_policy: Optional[TransferPolicy] = None
 
     #: Engine attributes never pickled into checkpoints: user-supplied
     #: callbacks and the checkpoint writer itself.
@@ -384,6 +530,18 @@ class Engine(abc.ABC):
         """Hook: a squeeze ended and its bytes are available again."""
 
     # ------------------------------------------------------------- helpers
+    def _plan_access(self, gpu: SimulatedGPU, iteration: int,
+                     chunk_ids: np.ndarray,
+                     touch_counts: Optional[np.ndarray] = None,
+                     hotness=None, granule: str = "chunk") -> np.ndarray:
+        """Run :attr:`transfer_policy` for one iteration and log the plan."""
+        if not len(chunk_ids):
+            return np.empty(0, dtype=np.int8)
+        paths = self.transfer_policy.plan(iteration, chunk_ids,
+                                          touch_counts, hotness)
+        emit_access_plan(gpu, self.name, granule, chunk_ids, paths)
+        return paths
+
     def _report_extra(self, result: RunResult, gpu: SimulatedGPU, graph: CSRGraph) -> None:
         """Subclasses append engine-specific numbers to ``result.extra``."""
 

@@ -1,0 +1,420 @@
+"""Hybrid — per-chunk migrate / gather / direct transfer management.
+
+HyTGraph (PAPERS.md) shows the win from *choosing per chunk* among explicit
+migration, CPU-assisted gather, and zero-copy direct access; EMOGI shows
+direct access beating migration outright for sparse, low-reuse traversals.
+This engine combines the repo's existing machinery — the
+:class:`~repro.core.static_region.StaticRegion` as a migrated-chunk device
+cache, the :class:`~repro.core.replacement.HotnessTable` as the reuse
+signal, Ascetic's pipelined gather rounds — with the simulator's new
+zero-copy path (:meth:`~repro.gpusim.device.SimulatedGPU.direct_access`).
+
+Every iteration, :class:`HybridPolicy` scores each touched non-resident
+chunk with the platform's own cost model:
+
+* **MIGRATE** — the whole chunk flies once over bulk PCIe and becomes
+  resident; the cost amortizes over the chunk's measured cross-iteration
+  reuse (hot and dense wins here).  Bounded by cache capacity: overflowing
+  candidates fall back to their runner-up path.
+* **GATHER** — the CPU assembles only the needed bytes and ships them at
+  bulk bandwidth; the fixed gather setup amortizes over the round's many
+  chunks (medium-density footprints win here).
+* **DIRECT** — sector-granular zero-copy loads move only the needed bytes
+  with no DMA setup and no burst amplification, but at roughly half
+  bandwidth (cold, sparse, one-touch chunks win here).
+
+Chunks already in the cache are **RESIDENT** and compute in place.  The
+decisions are emitted through the shared
+:class:`~repro.engines.base.TransferPolicy` API, so the per-chunk
+:class:`~repro.engines.base.AccessPath` choice is visible in traces exactly
+like the fixed-policy engines'.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.base import ProgramState, VertexProgram
+from repro.core.bitmaps import split_active
+from repro.core.ondemand import plan_ondemand
+from repro.core.replacement import HotnessTable
+from repro.core.static_region import DEFAULT_CHUNK_BYTES, StaticRegion
+from repro.engines.base import AccessPath, Engine, RunResult
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import GPUSpec, SimulatedGPU
+
+__all__ = ["HybridEngine", "HybridPolicy"]
+
+#: Above this round count the gather chain is charged in aggregate
+#: (matching :data:`repro.core.manager.ROUND_LOOP_LIMIT`'s rationale).
+ROUND_LOOP_LIMIT = 64
+
+_PATH_CODES = np.array(
+    [int(AccessPath.MIGRATE), int(AccessPath.GATHER), int(AccessPath.DIRECT)],
+    dtype=np.int8,
+)
+
+
+class HybridPolicy:
+    """Cost-model scores for migrate / gather / direct, per touched chunk.
+
+    The per-iteration inputs the engine installs before ``plan``:
+
+    ``bytes_per_touch``
+        Expected needed (paper-scale) bytes per active vertex touching a
+        chunk — the bytes-needed-vs-bytes-moved signal.
+    ``migrate_budget``
+        Chunks the device cache can absorb this iteration (free slots plus
+        evictable cold residents); migration beyond it falls back.
+    """
+
+    def __init__(self, spec: GPUSpec, region: StaticRegion, chunk_bytes: int,
+                 reuse_horizon: int = 8) -> None:
+        self.spec = spec
+        self.region = region
+        #: Paper-scale bytes of one chunk (the unit a migration moves).
+        self.chunk_bytes = float(chunk_bytes)
+        self.reuse_horizon = int(reuse_horizon)
+        self.bytes_per_touch = float(chunk_bytes)
+        self.migrate_budget = 0
+
+    def plan(self, iteration: int, chunk_ids: np.ndarray,
+             touch_counts: Optional[np.ndarray] = None,
+             hotness=None) -> np.ndarray:
+        ids = np.asarray(chunk_ids, dtype=np.int64)
+        paths = np.empty(len(ids), dtype=np.int8)
+        resident = self.region.resident[ids]
+        paths[resident] = int(AccessPath.RESIDENT)
+        need = np.nonzero(~resident)[0]
+        if need.size == 0:
+            return paths
+        touches = (
+            np.asarray(touch_counts, dtype=np.float64)[need]
+            if touch_counts is not None else np.ones(need.size)
+        )
+        needed = np.clip(touches * self.bytes_per_touch, 1.0, self.chunk_bytes)
+        link = self.spec.pcie
+        gather = self.spec.gather
+        history = (
+            np.minimum(hotness.cumulative[ids[need]], self.reuse_horizon)
+            .astype(np.float64)
+            if hotness is not None else np.zeros(need.size)
+        )
+        reuse = 1.0 + history
+        # Fixed stage costs amortize over *this iteration's* candidate set:
+        # one DMA launch serves every migrated chunk and one request
+        # round-trip plus CPU wake-up serves every gathered chunk, so a
+        # sparse iteration (few candidates) carries a large per-chunk share
+        # — which is exactly when zero-copy's setup-free loads win (EMOGI's
+        # sparse-frontier result) — while a dense one amortizes it away.
+        n_cand = float(need.size)
+        # Migrate: the whole chunk once over bulk PCIe (contiguous in host
+        # memory, so no CPU gather), amortized over expected reuse.
+        cost_migrate = (
+            link.latency / n_cand + self.chunk_bytes / link.bandwidth
+        ) / reuse
+        # Gather: CPU assembly pipelines with the bulk copy, so the score
+        # is the bottleneck stage plus the amortized round overhead (the
+        # request round-trip and the gather kick-off).
+        cost_gather = (
+            needed / min(gather.bandwidth, link.bandwidth)
+            + (link.latency + gather.setup) / n_cand
+        )
+        # Direct: sector-granular zero-copy loads of only the needed bytes.
+        sectors = np.ceil(needed / link.sector)
+        cost_direct = (
+            sectors * link.direct_latency
+            + sectors * link.sector / link.direct_bandwidth
+        )
+        costs = np.stack([cost_migrate, cost_gather, cost_direct])
+        chosen = _PATH_CODES[np.argmin(costs, axis=0)].copy()
+        # Capacity-bounded migration: keep the candidates with the largest
+        # savings over their runner-up path; the rest take the runner-up.
+        mig = np.nonzero(chosen == int(AccessPath.MIGRATE))[0]
+        budget = max(int(self.migrate_budget), 0)
+        if mig.size > budget:
+            runner_up = np.where(costs[1, mig] <= costs[2, mig],
+                                 _PATH_CODES[1], _PATH_CODES[2])
+            saving = np.minimum(costs[1, mig], costs[2, mig]) - costs[0, mig]
+            keep = np.argsort(-saving, kind="stable")[:budget]
+            overflow = np.ones(mig.size, dtype=bool)
+            overflow[keep] = False
+            chosen[mig[overflow]] = runner_up[overflow]
+        paths[need] = chosen
+        return paths
+
+
+class HybridEngine(Engine):
+    """Hotness-driven hybrid transfer management (HyTGraph/EMOGI direction).
+
+    Parameters beyond the :class:`~repro.engines.base.Engine` basics:
+
+    chunk_bytes:
+        Paper-scale decision/migration granule (16 KB, like Ascetic's
+        chunks — §3.4's burst-friendly size).
+    cache_fraction:
+        Share of post-vertex-state device memory given to the migrated-chunk
+        cache; the rest is the gather staging buffer.
+    reuse_horizon:
+        Iterations of measured reuse the migration score may amortize over
+        (caps the hotness history's influence).
+    """
+
+    name = "Hybrid"
+
+    def __init__(self, spec=None, record_spans=False, max_iterations=None,
+                 data_scale=1.0, record_events=False, fault_plan=None, seed=0,
+                 chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                 cache_fraction: float = 0.75,
+                 reuse_horizon: int = 8):
+        super().__init__(spec, record_spans, max_iterations, data_scale,
+                         record_events, fault_plan, seed)
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        if not 0.0 <= cache_fraction <= 0.95:
+            raise ValueError("cache_fraction must be in [0, 0.95]")
+        if reuse_horizon < 1:
+            raise ValueError("reuse_horizon must be >= 1")
+        self.chunk_bytes = int(chunk_bytes)
+        self.cache_fraction = float(cache_fraction)
+        self.reuse_horizon = int(reuse_horizon)
+        self._warm_region: Optional[StaticRegion] = None
+
+    # ------------------------------------------------------------ lifecycle
+    def reset_for_request(self, keep_static: bool = False) -> None:
+        """Arm the next run to reuse this run's migrated-chunk cache."""
+        super().reset_for_request(keep_static)
+        region = getattr(self, "_region", None)
+        self._warm_region = region if (keep_static and region is not None) else None
+
+    def _prepare(self, gpu: SimulatedGPU, graph: CSRGraph,
+                 program: VertexProgram) -> None:
+        from repro.gpusim.memory import GPUOutOfMemory
+
+        self._alloc_retry(gpu, "vertex_state", self._vertex_state_bytes(graph))
+        available = gpu.memory.available
+        if available <= 0:
+            raise GPUOutOfMemory(
+                "no device memory left for the hybrid cache",
+                name="hybrid_cache", requested=1, available=available,
+                capacity=gpu.memory.capacity, live=gpu.memory.live_allocations(),
+            )
+        chunk_scaled = self.scaled_bytes(self.chunk_bytes)
+        cache_bytes = int(available * self.cache_fraction)
+        warm = (self._warm_region is not None
+                and self._warm_region.compatible_with(graph, chunk_scaled))
+        invalidated = 0
+        if warm:
+            region = self._warm_region
+            invalidated = region.shrink_to(cache_bytes)
+        else:
+            # The cache starts empty and fills from migration decisions —
+            # the lazy analogue of Ascetic's prefilled Static Region.
+            region = StaticRegion(graph, capacity_bytes=cache_bytes,
+                                  chunk_bytes=chunk_scaled, fill="lazy")
+        self._warm_region = None
+        self._region = region
+        cache_alloc_bytes = region.capacity_chunks * chunk_scaled
+        self._cache_alloc = (
+            self._alloc_retry(gpu, "hybrid_cache", cache_alloc_bytes)
+            if cache_alloc_bytes > 0 else None
+        )
+        staging_bytes = available - cache_alloc_bytes
+        self._staging_alloc = self._alloc_retry(
+            gpu, "hybrid_staging", max(staging_bytes, 1))
+        self._staging_floor = max(self._staging_alloc.nbytes // 8, 1)
+        # Cumulative history: how many iterations each chunk has been
+        # touched — the migration score's reuse estimate.
+        self._hotness = HotnessTable(region.n_chunks, policy="cumulative",
+                                     stale_threshold=self.reuse_horizon)
+        self.transfer_policy = HybridPolicy(
+            gpu.spec, region, self.chunk_bytes, self.reuse_horizon)
+        gpu.h2d(self._vertex_state_bytes(graph), label="vertex-state")
+        self._warm_hit = warm
+        self._warm_bytes = region.resident_bytes if warm else 0
+        self._warm_invalidated = invalidated
+        if warm:
+            gpu.events.marker(
+                "warm-hit", "hybrid-cache", gpu.clock.now,
+                extra=(("resident_chunks", float(region.resident_chunks)),
+                       ("skipped_bytes", float(self._warm_bytes)),
+                       ("invalidated_chunks", float(invalidated))))
+        self._migrated_chunks = 0
+        self._path_bytes = {AccessPath.MIGRATE: 0, AccessPath.GATHER: 0,
+                            AccessPath.DIRECT: 0}
+
+    def _release_memory(self, gpu: SimulatedGPU, graph: CSRGraph,
+                        need: int) -> int:
+        """Shrink staging toward its floor, then evict cache chunks."""
+        freed = 0
+        give = min(self._staging_alloc.nbytes - self._staging_floor, need)
+        if give > 0:
+            gpu.memory.resize(self._staging_alloc,
+                              self._staging_alloc.nbytes - give)
+            freed += give
+        if freed < need and self._cache_alloc is not None:
+            region = self._region
+            target = max(self._cache_alloc.nbytes - (need - freed), 0)
+            region.shrink_to(target)
+            new_bytes = region.capacity_chunks * region.chunk_bytes
+            freed += self._cache_alloc.nbytes - new_bytes
+            gpu.memory.resize(self._cache_alloc, new_bytes)
+        if freed:
+            gpu.events.marker("cache-shrink", "hybrid", gpu.clock.now,
+                              extra=(("freed", float(freed)),))
+        return freed
+
+    # ------------------------------------------------------------ iteration
+    def _iteration(self, gpu: SimulatedGPU, graph: CSRGraph,
+                   program: VertexProgram, state: ProgramState) -> None:
+        region = self._region
+        policy: HybridPolicy = self.transfer_policy
+        with gpu.phase("Tmap"):
+            t_map = gpu.vertex_scan(graph.n_vertices, passes=2,
+                                    label="gen-datamap")
+        touch = region.chunk_touch_counts(state.active)
+        ids = np.nonzero(touch)[0]
+        total_edges = state.active_edges(graph)
+        static_bitmap = region.vertex_static_bitmap()
+        smap, odmap = split_active(state.active, static_bitmap)
+        # A squeezed staging buffer still streams chunk by chunk (the same
+        # floor Ascetic's _stream_cap applies).
+        staging = max(self._staging_alloc.nbytes, region.chunk_bytes)
+        od_plan = plan_ondemand(graph, odmap, staging)
+        resident_edges = total_edges - od_plan.n_edges
+
+        # Install this iteration's cost-model inputs, then decide.  The
+        # needed-bytes-per-touch estimate is reconstructed in *paper*
+        # geometry: down-scaled chunks are smaller than one vertex's edge
+        # span, so raw per-chunk byte counts would read as 100 % dense and
+        # hide exactly the sub-chunk sparsity zero-copy exploits.  At paper
+        # scale a touched 16 KB chunk holds one frontier vertex's edges when
+        # the frontier is sparse and ``density × chunk`` bytes when dense.
+        n_od_active = int(np.count_nonzero(odmap))
+        if n_od_active:
+            # Degree is scale-invariant, so scaled bytes over scaled count
+            # is the paper-scale per-vertex edge footprint.
+            vertex_bytes = od_plan.edge_bytes / n_od_active
+            density = n_od_active / max(graph.n_vertices, 1)
+            policy.bytes_per_touch = min(
+                float(self.chunk_bytes),
+                max(vertex_bytes, density * self.chunk_bytes),
+            )
+        else:
+            policy.bytes_per_touch = 0.0
+        evictable = region.resident & (self._hotness.last == 0)
+        policy.migrate_budget = int(region.free_chunks + int(evictable.sum()))
+        paths = self._plan_access(gpu, state.iteration, ids, touch[ids],
+                                  self._hotness)
+
+        # Split the on-demand traffic across paths by needed-bytes weight.
+        needed = np.clip(touch[ids] * policy.bytes_per_touch, 1.0,
+                         float(self.chunk_bytes))
+        needed[region.resident[ids]] = 0.0
+        w_m = float(needed[paths == int(AccessPath.MIGRATE)].sum())
+        w_g = float(needed[paths == int(AccessPath.GATHER)].sum())
+        w_d = float(needed[paths == int(AccessPath.DIRECT)].sum())
+        w_total = w_m + w_g + w_d
+        od_edges = od_plan.n_edges
+        if w_total > 0:
+            e_m = int(od_edges * (w_m / w_total))
+            e_g = int(od_edges * (w_g / w_total))
+            b_g = int(od_plan.edge_bytes * (w_g / w_total))
+            b_d = int(od_plan.edge_bytes * (w_d / w_total))
+            req_g = int(od_plan.request_bytes * (w_g / w_total))
+        else:
+            e_m = e_g = b_g = b_d = req_g = 0
+        e_d = od_edges - e_m - e_g
+        mig_ids = ids[paths == int(AccessPath.MIGRATE)]
+        mig_bytes = int(mig_ids.size) * region.chunk_bytes
+
+        # ➊ Resident compute overlaps every transfer chain.
+        with gpu.phase("Tsr"):
+            gpu.edge_kernel(resident_edges, label="static-compute",
+                            atomics=program.atomics, after=t_map)
+        # ➋ Migration: whole chunks, contiguous in pinned host memory —
+        # one bulk copy, no CPU gather, then their compute.
+        if mig_bytes:
+            with gpu.phase("Tmigrate"):
+                t_mig = gpu.h2d(mig_bytes, label="chunk-migrate", after=t_map)
+            with gpu.phase("Tondemand"):
+                gpu.edge_kernel(e_m, label="migrate-compute",
+                                atomics=program.atomics, after=t_mig)
+        # ➌ Gather chain: request list down, then pipelined
+        # gather → transfer → compute rounds (Ascetic's schedule).
+        if b_g > 0:
+            prev = gpu.d2h(req_g, label="od-requests", after=t_map)
+            rounds = max(-(-b_g // staging), 1)
+            if rounds > ROUND_LOOP_LIMIT:
+                with gpu.phase("Tfilling"):
+                    t_gather = gpu.cpu_gather(b_g, label="od-gather",
+                                              after=prev)
+                with gpu.phase("Ttransfer"):
+                    t_xfer = gpu.h2d(b_g, label="od-transfer", after=t_gather)
+                with gpu.phase("Tondemand"):
+                    gpu.edge_kernel(e_g, label="od-compute",
+                                    atomics=program.atomics, after=t_xfer)
+            else:
+                bytes_left, edges_left = b_g, e_g
+                for r in range(rounds):
+                    r_bytes = -(-bytes_left // (rounds - r))
+                    r_edges = -(-edges_left // (rounds - r))
+                    bytes_left -= r_bytes
+                    edges_left -= r_edges
+                    with gpu.phase("Tfilling"):
+                        t_gather = gpu.cpu_gather(r_bytes, label="od-gather",
+                                                  after=prev)
+                    with gpu.phase("Ttransfer"):
+                        t_xfer = gpu.h2d(r_bytes, label="od-transfer",
+                                         after=t_gather)
+                    with gpu.phase("Tondemand"):
+                        gpu.edge_kernel(r_edges, label="od-compute",
+                                        atomics=program.atomics, after=t_xfer)
+                    prev = t_gather
+        # ➍ Direct chain: zero-copy loads feed the consuming kernel; both
+        # start at t_map and overlap (the sync below takes the max).
+        if b_d > 0 or e_d > 0:
+            with gpu.phase("Tdirect"):
+                gpu.direct_access(b_d, label="zero-copy", after=t_map)
+            with gpu.phase("Tondemand"):
+                gpu.edge_kernel(e_d, label="direct-compute",
+                                atomics=program.atomics, after=t_map)
+        # ➎ Cache update: migrated chunks become resident; overflowing the
+        # free slots evicts the coldest already-consumed residents (free —
+        # the cache is read-only).
+        if mig_ids.size:
+            n_evict = int(mig_ids.size) - region.free_chunks
+            if n_evict > 0:
+                cand = np.nonzero(evictable)[0]
+                order = np.argsort(-self._hotness.cumulative[cand],
+                                   kind="stable")
+                evict_ids = cand[order][:n_evict]
+            else:
+                evict_ids = np.empty(0, dtype=np.int64)
+            region.swap(evict_ids, mig_ids)
+            self._migrated_chunks += int(mig_ids.size)
+        self._hotness.update(touch)
+        up = gpu.charge_scale
+        self._path_bytes[AccessPath.MIGRATE] += int(mig_bytes * up)
+        self._path_bytes[AccessPath.GATHER] += int(b_g * up)
+        self._path_bytes[AccessPath.DIRECT] += int(b_d * up)
+        gpu.sync()
+
+    # ------------------------------------------------------------- reporting
+    def _report_extra(self, result: RunResult, gpu: SimulatedGPU,
+                      graph: CSRGraph) -> None:
+        up = 1.0 / self.data_scale
+        result.extra["cache_chunks"] = float(self._region.capacity_chunks)
+        result.extra["resident_chunks"] = float(self._region.resident_chunks)
+        result.extra["migrated_chunks"] = float(self._migrated_chunks)
+        result.extra["migrate_bytes"] = float(self._path_bytes[AccessPath.MIGRATE])
+        result.extra["gather_bytes"] = float(self._path_bytes[AccessPath.GATHER])
+        result.extra["direct_bytes"] = float(self._path_bytes[AccessPath.DIRECT])
+        # Warm-start ledger, named like Ascetic's so the serve pool's
+        # fold_result picks it up unchanged.
+        result.extra["warm_start"] = 1.0 if self._warm_hit else 0.0
+        result.extra["static_warm_bytes"] = self._warm_bytes * up
+        result.extra["static_refill_bytes"] = 0.0
+        result.extra["warm_invalidated_chunks"] = float(self._warm_invalidated)

@@ -17,7 +17,7 @@ from typing import List
 import numpy as np
 
 from repro.algorithms.base import ProgramState, VertexProgram
-from repro.engines.base import Engine, RunResult
+from repro.engines.base import Engine, PinnedPrefixPolicy, RunResult
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import EdgePartition, partition_by_bytes, partitions_of_vertices
 from repro.gpusim.device import SimulatedGPU
@@ -73,6 +73,10 @@ class PartitionEngine(Engine):
             )
         self._parts: List[EdgePartition] = partition_by_bytes(graph, part_budget)
         self._n_pinned = min(self.pinned_partitions, len(self._parts))
+        #: PT's fixed policy at partition granularity: pinned partitions
+        #: stay resident, every other touched partition bulk-migrates whole
+        #: (and is thrown away again — Fig. 1's "Partition" row).
+        self.transfer_policy = PinnedPrefixPolicy(self._n_pinned)
         buf = min(part_budget, max(p.nbytes for p in self._parts))
         self._part_allocs = [self._alloc_retry(gpu, "partition_buffer", buf)]
         if self.double_buffer:
@@ -120,6 +124,8 @@ class PartitionEngine(Engine):
         touched = partitions_of_vertices(graph, self._parts, state.active)
         if not touched.any():
             return
+        self._plan_access(gpu, state.iteration, np.nonzero(touched)[0],
+                          granule="partition")
         gpu.vertex_scan(graph.n_vertices, passes=1, label="gen-active")
         # kernel_ends[-2] gates the transfer into a reused buffer: with one
         # buffer the previous kernel, with two the one before it.

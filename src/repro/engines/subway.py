@@ -20,8 +20,10 @@ in rounds, each a full gather → transfer → compute sequence.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.algorithms.base import ProgramState, VertexProgram
-from repro.engines.base import Engine, RunResult
+from repro.engines.base import AccessPath, Engine, FixedPolicy, RunResult
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import SimulatedGPU
 
@@ -52,6 +54,9 @@ class SubwayEngine(Engine):
                  pipelined: bool = False, materialize: bool = False):
         super().__init__(spec, record_spans, max_iterations, data_scale,
                          record_events, fault_plan, seed)
+        #: Subway's fixed policy: every granule (a gather round) is
+        #: CPU-gathered — nothing is resident, nothing migrates.
+        self.transfer_policy = FixedPolicy(AccessPath.GATHER)
         self.pipelined = pipelined
         #: Physically build each iteration's SubCSR (the buffer a real
         #: system DMAs) instead of only costing it.  Slower; the staged
@@ -137,6 +142,8 @@ class SubwayEngine(Engine):
         rounds = max(-(-total_bytes // self._staging_bytes), 1)
         if self.pipelined and rounds == 1 and total_bytes > 0:
             rounds = 2  # split to expose pipelining within the iteration
+        self._plan_access(gpu, state.iteration,
+                          np.arange(rounds, dtype=np.int64), granule="round")
         edges_left, bytes_left = n_edges, total_bytes
         prev_gather = 0.0
         for r in range(rounds):

@@ -118,6 +118,10 @@ class SimulatedGPU:
         self.gpu = Lane("gpu", self.clock, log=self.events)
         self.copy = Lane("copy", self.clock, log=self.events)
         self.cpu = Lane("cpu", self.clock, log=self.events)
+        #: Zero-copy direct-access traffic over the link (EMOGI path).
+        #: Separate from the copy engine: direct loads issue from the SMs
+        #: and overlap freely with DMA copies in flight.
+        self.direct = Lane("direct", self.clock, log=self.events)
 
     @property
     def metrics(self) -> Metrics:
@@ -194,6 +198,32 @@ class SimulatedGPU:
             faults=self.faults,
         )
 
+    def direct_access(self, nbytes: int, n_accesses: Optional[int] = None,
+                      label: str = "zero-copy", after: float = 0.0) -> float:
+        """Queue zero-copy reads of host memory on the direct lane.
+
+        ``nbytes`` is in scaled units like :meth:`h2d`; ``n_accesses``
+        (also scaled) defaults to one access per charged 128 B sector.
+        Fault-injectable exactly like H2D: the injector degrades only the
+        streamed term and failed attempts emit ``direct-fault`` events.
+        """
+        if nbytes <= 0:
+            return self.direct.submit(0.0, label, after=after)
+        pcie = self.spec.pcie
+        charged = self._scale(nbytes)
+        payload = pcie.direct_payload_bytes(charged)
+        if n_accesses is None:
+            accesses = payload // pcie.sector
+        else:
+            accesses = max(self._scale(n_accesses), 1)
+        # fixed + variable sums to pcie.direct_access_seconds() bit for bit.
+        return self.direct.submit_transfer(
+            accesses * pcie.direct_latency, payload / pcie.direct_bandwidth,
+            label, after=after, kind="direct",
+            counters={"bytes_direct": payload, "direct_accesses": accesses},
+            faults=self.faults,
+        )
+
     # -------------------------------------------------------------- kernels
     def edge_kernel(self, n_edges: int, label: str = "edges", atomics: bool = False,
                     after: float = 0.0) -> float:
@@ -238,7 +268,8 @@ class SimulatedGPU:
     def sync(self, t: float | None = None) -> float:
         """Wait: for time ``t``, or for all lanes when ``t`` is None."""
         if t is None:
-            t = max(self.gpu.busy_until, self.copy.busy_until, self.cpu.busy_until)
+            t = max(self.gpu.busy_until, self.copy.busy_until,
+                    self.cpu.busy_until, self.direct.busy_until)
         return self.clock.advance_to(t)
 
     @property

@@ -60,6 +60,8 @@ COUNTER_FIELDS: Tuple[str, ...] = (
     "bytes_d2h",
     "h2d_transfers",
     "d2h_transfers",
+    "bytes_direct",
+    "direct_accesses",
     "kernel_launches",
     "edges_processed",
     "page_faults",
@@ -77,7 +79,7 @@ COUNTER_FIELDS: Tuple[str, ...] = (
 #: it as the ``retry`` bucket, and the Chrome-trace export categorizes
 #: them separately so faults stand out in a Perfetto timeline.
 FAULT_KINDS = frozenset({
-    "h2d-fault", "d2h-fault", "backoff", "kernel-abort",
+    "h2d-fault", "d2h-fault", "direct-fault", "backoff", "kernel-abort",
 })
 
 #: Request-lifecycle marker kinds emitted by the serving layer
@@ -117,6 +119,8 @@ class SimEvent:
     bytes_d2h: int = 0
     h2d_transfers: int = 0
     d2h_transfers: int = 0
+    bytes_direct: int = 0
+    direct_accesses: int = 0
     kernel_launches: int = 0
     edges_processed: int = 0
     page_faults: int = 0
@@ -315,6 +319,10 @@ def _apply(metrics: Metrics, event: SimEvent) -> None:
         metrics.h2d_transfers += event.h2d_transfers
     if event.d2h_transfers:
         metrics.d2h_transfers += event.d2h_transfers
+    if event.bytes_direct:
+        metrics.bytes_direct += event.bytes_direct
+    if event.direct_accesses:
+        metrics.direct_accesses += event.direct_accesses
     if event.kernel_launches:
         metrics.kernel_launches += event.kernel_launches
     if event.edges_processed:

@@ -23,6 +23,10 @@ class Metrics:
     bytes_d2h: int = 0
     h2d_transfers: int = 0
     d2h_transfers: int = 0
+    #: Bytes moved by zero-copy direct access over the link (EMOGI path).
+    bytes_direct: int = 0
+    #: Individual zero-copy load accesses issued over the link.
+    direct_accesses: int = 0
     page_faults: int = 0
     fault_batches: int = 0
     pages_migrated: int = 0
@@ -53,6 +57,8 @@ class Metrics:
         self.bytes_d2h += other.bytes_d2h
         self.h2d_transfers += other.h2d_transfers
         self.d2h_transfers += other.d2h_transfers
+        self.bytes_direct += other.bytes_direct
+        self.direct_accesses += other.direct_accesses
         self.page_faults += other.page_faults
         self.fault_batches += other.fault_batches
         self.pages_migrated += other.pages_migrated
@@ -73,6 +79,8 @@ class Metrics:
             "bytes_d2h": self.bytes_d2h,
             "h2d_transfers": self.h2d_transfers,
             "d2h_transfers": self.d2h_transfers,
+            "bytes_direct": self.bytes_direct,
+            "direct_accesses": self.direct_accesses,
             "page_faults": self.page_faults,
             "fault_batches": self.fault_batches,
             "pages_migrated": self.pages_migrated,

@@ -5,6 +5,14 @@ over an effective bandwidth, with payloads rounded up to the burst
 granularity.  §3.4 picks 16 KB chunks explicitly because they are "amenable
 to the PCI-e burst transfer mechanism" — the burst rounding here is what
 makes that choice matter in the model.
+
+The link also models *zero-copy direct access* (EMOGI / HyTGraph): the GPU
+reads pinned host memory through individual load instructions instead of
+staging a DMA copy.  Each access pays a tiny per-access latency and moves a
+128-byte sector — no 10 µs driver setup, no 16 KB burst amplification — but
+the sustained rate is roughly half of a bulk copy.  That asymmetry is the
+whole point: direct access wins for small, sparse, one-touch footprints;
+explicit migration wins once a chunk's bytes are reused.
 """
 
 from __future__ import annotations
@@ -27,15 +35,30 @@ class PCIeLink:
         Seconds of fixed overhead per explicit transfer.
     burst:
         Bytes of DMA burst granularity; payloads round up to it.
+    direct_bandwidth:
+        Effective bytes/second of zero-copy loads over the link.  Scattered
+        sector-sized reads sustain roughly half of bulk-copy bandwidth.
+    direct_latency:
+        Seconds of per-access overhead for one zero-copy load (issue +
+        link round-trip amortized over the warp's coalesced accesses).
+    sector:
+        Bytes one zero-copy access moves (the PCIe read-completion /
+        cache-line sector); direct payloads round up to it.
     """
 
     bandwidth: float = 12.0e9
     latency: float = 10.0e-6
     burst: int = 16 * 1024
+    direct_bandwidth: float = 6.0e9
+    direct_latency: float = 15.0e-9
+    sector: int = 128
 
     def __post_init__(self) -> None:
         if self.bandwidth <= 0 or self.latency < 0 or self.burst <= 0:
             raise ValueError("invalid PCIe parameters")
+        if (self.direct_bandwidth <= 0 or self.direct_latency < 0
+                or self.sector <= 0):
+            raise ValueError("invalid PCIe direct-access parameters")
 
     def payload_bytes(self, nbytes: int) -> int:
         """Bytes actually moved after burst rounding."""
@@ -65,3 +88,34 @@ class PCIeLink:
         if n_requests < 1:
             raise ValueError("n_requests must be >= 1")
         return self.latency + self.payload_bytes(nbytes) / self.bandwidth
+
+    # ------------------------------------------------------ zero-copy path
+    def direct_payload_bytes(self, nbytes: int) -> int:
+        """Bytes actually moved by zero-copy loads after sector rounding.
+
+        Deliberately *not* burst-rounded: sector granularity is what lets
+        direct access beat migration on sparse footprints.
+        """
+        if nbytes < 0:
+            raise ValueError("negative direct-access size")
+        if nbytes == 0:
+            return 0
+        sectors = -(-nbytes // self.sector)  # ceil division
+        return sectors * self.sector
+
+    def direct_access_seconds(self, nbytes: int, n_accesses: int = 1) -> float:
+        """Virtual seconds ``n_accesses`` zero-copy loads of ``nbytes`` take.
+
+        ``n_accesses`` per-access latencies plus the sector-rounded payload
+        over the (halved) direct bandwidth.  With one access per sector this
+        is cheaper than :meth:`transfer_seconds` below a crossover footprint
+        of roughly ``latency / (1/direct_bandwidth + direct_latency/sector
+        - 1/bandwidth)`` bytes (~50 KB at the defaults) — the EMOGI regime —
+        and dearer above it, which is what a hybrid policy exploits.
+        """
+        if nbytes == 0:
+            return 0.0
+        if n_accesses < 1:
+            raise ValueError("n_accesses must be >= 1")
+        payload = self.direct_payload_bytes(nbytes)
+        return n_accesses * self.direct_latency + payload / self.direct_bandwidth

@@ -114,6 +114,8 @@ def result_to_payload(result: RunResult) -> Dict:
             "bytes_d2h": result.metrics.bytes_d2h,
             "h2d_transfers": result.metrics.h2d_transfers,
             "d2h_transfers": result.metrics.d2h_transfers,
+            "bytes_direct": result.metrics.bytes_direct,
+            "direct_accesses": result.metrics.direct_accesses,
             "page_faults": result.metrics.page_faults,
             "fault_batches": result.metrics.fault_batches,
             "pages_migrated": result.metrics.pages_migrated,
@@ -158,6 +160,10 @@ def result_from_payload(payload: Dict) -> RunResult:
         bytes_d2h=m["bytes_d2h"],
         h2d_transfers=m["h2d_transfers"],
         d2h_transfers=m["d2h_transfers"],
+        # Zero-copy counters arrived with the direct-access path; default
+        # for payloads written before them.
+        bytes_direct=m.get("bytes_direct", 0),
+        direct_accesses=m.get("direct_accesses", 0),
         page_faults=m["page_faults"],
         fault_batches=m["fault_batches"],
         pages_migrated=m["pages_migrated"],

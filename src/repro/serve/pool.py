@@ -64,10 +64,15 @@ class PoolStats:
 class EnginePool:
     """LRU-bounded map of affinity key → reusable engine instance."""
 
-    def __init__(self, max_engines: int = 4) -> None:
+    def __init__(self, max_engines: int = 4, keep_static: bool = True) -> None:
         if max_engines < 1:
             raise ValueError("max_engines must be >= 1")
         self.max_engines = int(max_engines)
+        #: Whether pool hits re-arm the engine's warm-start path.  The
+        #: serving layer sets this from the engine's registered
+        #: :attr:`~repro.engines.registry.EngineInfo.supports_warm_start`,
+        #: so engines without cross-request state skip the no-op re-arm.
+        self.keep_static = bool(keep_static)
         self._engines: "OrderedDict[Hashable, Engine]" = OrderedDict()
         self.stats = PoolStats()
 
@@ -87,7 +92,7 @@ class EnginePool:
         engine = self._engines.get(key)
         if engine is not None:
             self._engines.move_to_end(key)
-            engine.reset_for_request(keep_static=True)
+            engine.reset_for_request(keep_static=self.keep_static)
             self.stats.hits += 1
             return engine, True
         while len(self._engines) >= self.max_engines:

@@ -209,7 +209,12 @@ def run_load_test(config: ServeConfig,
     queue = AdmissionQueue(config.queue_capacity, config.queue_policy)
     scheduler = make_scheduler(config.scheduler, config.max_batch,
                                config.aging_seconds)
-    pool = EnginePool(config.max_engines)
+    # Re-arm pooled engines for warm start only when the engine declares the
+    # capability — registry metadata instead of a hardcoded Ascetic-ism.
+    pool = EnginePool(
+        config.max_engines,
+        keep_static=registry.describe(config.engine).supports_warm_start,
+    )
     responses: Dict[int, Response] = {}
     run_results: List[RunResult] = []
 

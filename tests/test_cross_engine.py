@@ -13,6 +13,7 @@ from repro.algorithms.validate import (
     reference_sssp_distances,
 )
 from repro.core.ascetic import AsceticEngine
+from repro.engines.hybrid import HybridEngine
 from repro.engines.partition_based import PartitionEngine
 from repro.engines.subway import SubwayEngine
 from repro.engines.uvm_engine import UVMEngine
@@ -20,7 +21,11 @@ from repro.graph.properties import best_source
 
 from conftest import TEST_SCALE, make_spec_for
 
-ALL_ENGINES = [PartitionEngine, UVMEngine, SubwayEngine, AsceticEngine]
+#: The paper's four engines — the ordering claims below are about these.
+PAPER_ENGINES = [PartitionEngine, UVMEngine, SubwayEngine, AsceticEngine]
+#: Every engine must agree bit for bit, including the Hybrid extension.
+ALL_ENGINES = PAPER_ENGINES + [HybridEngine]
+PAPER_NAMES = tuple(cls.name for cls in PAPER_ENGINES)
 
 
 def run_all(graph, prog_factory, spec):
@@ -79,7 +84,9 @@ class TestExpectedOrdering:
         return run_all(small_social, lambda: make_program("CC"), spec)
 
     def test_ascetic_fastest(self, results):
-        t = {k: v.elapsed_seconds for k, v in results.items()}
+        # Among the paper's engines — the Hybrid extension is allowed (and
+        # on some cells expected) to beat Ascetic; see test_hybrid.py.
+        t = {k: results[k].elapsed_seconds for k in PAPER_NAMES}
         assert t["Ascetic"] == min(t.values())
 
     def test_subway_beats_pt_on_sparse_frontiers(self, small_social):
@@ -96,5 +103,7 @@ class TestExpectedOrdering:
         assert x["PT"] == max(x.values())
 
     def test_ascetic_moves_least_processing_data(self, results):
-        x = {k: v.processing_bytes_h2d for k, v in results.items()}
+        # Again among the paper's engines: Hybrid's zero-copy path moves
+        # bytes outside the H2D counter, so it is excluded by construction.
+        x = {k: results[k].processing_bytes_h2d for k in PAPER_NAMES}
         assert x["Ascetic"] == min(x.values())

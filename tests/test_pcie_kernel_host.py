@@ -55,6 +55,77 @@ class TestPCIe:
         assert link.payload_bytes(n) - n < link.burst
 
 
+class TestDirectAccess:
+    """The zero-copy path: sector-granular, setup-free, half bandwidth."""
+
+    def test_zero_free(self):
+        link = PCIeLink()
+        assert link.direct_access_seconds(0) == 0.0
+        assert link.direct_payload_bytes(0) == 0
+
+    def test_sector_rounding(self):
+        link = PCIeLink(sector=128)
+        assert link.direct_payload_bytes(1) == 128
+        assert link.direct_payload_bytes(128) == 128
+        assert link.direct_payload_bytes(129) == 256
+
+    def test_no_burst_amplification(self):
+        # The whole point of the path: a tiny read moves one sector, not
+        # one DMA burst.
+        link = PCIeLink()
+        assert link.direct_payload_bytes(64) < link.payload_bytes(64)
+
+    def test_time_composition(self):
+        link = PCIeLink(direct_bandwidth=1e9, direct_latency=1e-8, sector=128)
+        t = link.direct_access_seconds(256, n_accesses=2)
+        assert t == pytest.approx(2 * 1e-8 + 256 / 1e9)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            PCIeLink(direct_bandwidth=0)
+        with pytest.raises(ValueError):
+            PCIeLink(direct_latency=-1)
+        with pytest.raises(ValueError):
+            PCIeLink(sector=0)
+        with pytest.raises(ValueError):
+            PCIeLink().direct_access_seconds(-1)
+        with pytest.raises(ValueError):
+            PCIeLink().direct_access_seconds(128, n_accesses=0)
+
+    @given(st.integers(0, 10**8))
+    def test_property_monotone_in_bytes(self, n):
+        link = PCIeLink()
+        assert (link.direct_access_seconds(n + 1)
+                >= link.direct_access_seconds(n))
+        assert link.direct_payload_bytes(n) >= n
+        assert link.direct_payload_bytes(n) - n < link.sector
+
+    @given(st.integers(1, 10**8), st.integers(1, 10**6))
+    def test_property_monotone_in_accesses(self, n, a):
+        link = PCIeLink()
+        assert (link.direct_access_seconds(n, a + 1)
+                >= link.direct_access_seconds(n, a))
+
+    @given(st.integers(1, 32 * 1024))
+    def test_property_direct_wins_below_crossover(self, n):
+        # One access per touched sector (the policy's charging convention):
+        # small sparse footprints are the EMOGI regime, well under the
+        # ~50 KB crossover at the default constants.
+        link = PCIeLink()
+        accesses = -(-n // link.sector)
+        assert (link.direct_access_seconds(n, accesses)
+                < link.transfer_seconds(n))
+
+    @given(st.integers(128 * 1024, 10**8))
+    def test_property_bulk_wins_above_crossover(self, n):
+        # Large footprints: direct access's halved bandwidth dominates and
+        # one explicit DMA is cheaper — the regime where migration wins.
+        link = PCIeLink()
+        accesses = -(-n // link.sector)
+        assert (link.direct_access_seconds(n, accesses)
+                > link.transfer_seconds(n))
+
+
 class TestKernelModel:
     def test_zero_edges_free(self):
         assert KernelModel().edge_kernel_seconds(0) == 0.0

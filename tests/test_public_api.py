@@ -41,6 +41,7 @@ MODULES = [
     "repro.algorithms.validate",
     "repro.engines",
     "repro.engines.base",
+    "repro.engines.hybrid",
     "repro.engines.partition_based",
     "repro.engines.registry",
     "repro.engines.subway",
@@ -126,13 +127,17 @@ def test_top_level_surface_pinned():
         "GPUSpec",
         "SimulatedGPU",
         "Engine",
+        "EngineInfo",
         "IterationRecord",
         "RunResult",
+        "AccessPath",
+        "TransferPolicy",
         "PartitionEngine",
         "UVMEngine",
         "SubwayEngine",
         "AsceticEngine",
         "AsceticConfig",
+        "HybridEngine",
         "registry",
         "FaultPlan",
         "standard_plan",
@@ -150,5 +155,5 @@ def test_engines_package_exports_ascetic():
     import repro.engines as engines
 
     assert engines.AsceticEngine is engines.registry.get("Ascetic")
-    for name in ("PT", "UVM", "Subway", "Ascetic"):
+    for name in ("PT", "UVM", "Subway", "Ascetic", "Hybrid"):
         assert name in engines.registry.available()

@@ -66,6 +66,79 @@ class TestRegistry:
             registry.unregister("Temp")
 
 
+class TestEngineInfo:
+    def test_every_builtin_has_metadata(self):
+        for name in registry.available():
+            info = registry.describe(name)
+            assert info.description
+            assert info.transfer_policy
+            assert info.supported_engine_opts is not None
+
+    def test_warm_start_capability_flags(self):
+        assert registry.describe("Ascetic").supports_warm_start
+        assert registry.describe("Hybrid").supports_warm_start
+        for name in ("PT", "UVM", "Subway"):
+            assert not registry.describe(name).supports_warm_start
+
+    def test_describe_unknown_matches_get(self):
+        with pytest.raises(KeyError, match="registered engines"):
+            registry.describe("CUDA")
+
+    def test_all_opts_extends_the_common_set(self):
+        info = registry.describe("Hybrid")
+        assert set(registry.COMMON_ENGINE_OPTS) <= set(info.all_opts)
+        assert "cache_fraction" in info.all_opts
+
+    def test_create_rejects_unknown_option(self):
+        with pytest.raises(TypeError, match=r"'Ascetic'.*'bogus'"):
+            registry.create("Ascetic", bogus=1)
+
+    def test_create_error_lists_accepted_options(self):
+        # A typo'd option fails fast and tells you what would have worked.
+        with pytest.raises(TypeError, match="cache_fraction"):
+            registry.create("Hybrid", cache_fractoin=0.5)
+
+    def test_create_accepts_declared_options(self):
+        eng = registry.create("Hybrid", spec=GPUSpec(memory_bytes=1 << 20),
+                              cache_fraction=0.5)
+        assert eng.cache_fraction == 0.5
+
+    def test_unregister_unknown_matches_get_style(self):
+        with pytest.raises(KeyError, match="registered engines"):
+            registry.unregister("CUDA")
+
+    def test_infoless_registration_is_unvalidated(self, fake_engine):
+        # Back-compat: third-party engines registered without EngineInfo
+        # keep working — default metadata, no option validation.
+        info = registry.describe("Fake")
+        assert not info.supports_warm_start
+        assert info.supported_engine_opts is None
+        assert info.all_opts is None
+        eng = registry.create("Fake", anything_goes=1)
+        assert eng.kwargs == {"anything_goes": 1}
+
+    def test_register_with_info_validates(self):
+        info = registry.EngineInfo(description="test engine",
+                                   supported_engine_opts=("knob",))
+        registry.register("Temp", _FakeEngine, info=info)
+        try:
+            assert registry.describe("Temp") == info
+            assert registry.create("Temp", knob=2).kwargs == {"knob": 2}
+            with pytest.raises(TypeError, match="knob"):
+                registry.create("Temp", dial=3)
+        finally:
+            registry.unregister("Temp")
+
+    def test_replace_without_info_clears_metadata(self):
+        info = registry.EngineInfo(supported_engine_opts=("knob",))
+        registry.register("Temp", _FakeEngine, info=info)
+        try:
+            registry.register("Temp", _FakeEngine, replace=True)
+            assert registry.describe("Temp").all_opts is None
+        finally:
+            registry.unregister("Temp")
+
+
 class TestEnginesView:
     def test_view_tracks_registry(self, fake_engine):
         assert "Fake" in ENGINES
