@@ -171,6 +171,20 @@ def _source_events(source: TraceSource) -> List[SimEvent]:
     return list(source)
 
 
+def _event_args(e: SimEvent) -> Dict[str, Any]:
+    """The per-slice ``args`` payload shared by both export modes."""
+    args: Dict[str, Any] = {"kind": e.kind}
+    if e.phase is not None:
+        args["phase"] = e.phase
+    if e.iteration is not None:
+        args["iteration"] = e.iteration
+    args.update({k: v for k, v in e.to_dict().items()
+                 if k not in ("lane", "kind", "label", "start", "end",
+                              "phase", "iteration", "device", "extra")})
+    args.update(dict(e.extra))
+    return args
+
+
 def chrome_trace_events(source: TraceSource) -> List[Dict[str, Any]]:
     """Flatten events to the Chrome-trace ``traceEvents`` list.
 
@@ -178,8 +192,18 @@ def chrome_trace_events(source: TraceSource) -> List[Dict[str, Any]]:
     ``dur`` in microseconds); lane-less markers become instants
     (``ph="i"``).  Metadata records name the process and one thread per
     lane so Perfetto renders labelled rows.
+
+    A single-device log (no event carries a ``device``) exports exactly as
+    it always has — one ``repro-sim`` process, pid 0, byte-identical output.
+    A fabric log gets one named process per device (``pid`` = device id,
+    ``repro-sim:dev<d>``) plus a shared ``repro-fabric`` process for
+    device-less markers (the serve layer's request lifecycle), so Perfetto
+    renders the fleet as parallel process groups.
     """
     events = _source_events(source)
+    devices = sorted({e.device for e in events if e.device is not None})
+    if devices:
+        return _multi_device_trace_events(events, devices)
     out: List[Dict[str, Any]] = [{
         "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
         "args": {"name": "repro-sim"},
@@ -196,15 +220,7 @@ def chrome_trace_events(source: TraceSource) -> List[Dict[str, Any]]:
     next_tid = MARKER_TID + 1
     tids = dict(LANE_TIDS)
     for e in events:
-        args: Dict[str, Any] = {"kind": e.kind}
-        if e.phase is not None:
-            args["phase"] = e.phase
-        if e.iteration is not None:
-            args["iteration"] = e.iteration
-        args.update({k: v for k, v in e.to_dict().items()
-                     if k not in ("lane", "kind", "label", "start", "end",
-                                  "phase", "iteration", "extra")})
-        args.update(dict(e.extra))
+        args = _event_args(e)
         if e.is_instant:
             out.append({
                 "name": e.label or e.kind, "ph": "i", "s": "t",
@@ -226,6 +242,71 @@ def chrome_trace_events(source: TraceSource) -> List[Dict[str, Any]]:
             "pid": 0, "tid": tid,
             # Fault/retry slices keep their own category even inside a
             # phase, so Perfetto can colour and filter chaos activity.
+            "cat": e.kind if e.kind in FAULT_KINDS else (e.phase or e.kind),
+            "args": args,
+        })
+    return out
+
+
+def _multi_device_trace_events(events: List[SimEvent],
+                               devices: List[int]) -> List[Dict[str, Any]]:
+    """The fabric export: one Chrome-trace process per device.
+
+    Device ids become pids directly; device-less markers (serve-layer
+    request lifecycle, fabric-wide bookkeeping) live in a separate
+    ``repro-fabric`` process one pid above the highest device.
+    """
+    fabric_pid = max(devices) + 1
+    out: List[Dict[str, Any]] = []
+    tids: Dict[int, Dict[str, int]] = {}
+    next_tid: Dict[int, int] = {}
+    for d in devices:
+        out.append({
+            "name": "process_name", "ph": "M", "pid": d, "tid": 0,
+            "args": {"name": f"repro-sim:dev{d}"},
+        })
+        for lane, tid in sorted(LANE_TIDS.items(), key=lambda kv: kv[1]):
+            out.append({
+                "name": "thread_name", "ph": "M", "pid": d, "tid": tid,
+                "args": {"name": lane},
+            })
+        out.append({
+            "name": "thread_name", "ph": "M", "pid": d, "tid": MARKER_TID,
+            "args": {"name": "markers"},
+        })
+        tids[d] = dict(LANE_TIDS)
+        next_tid[d] = MARKER_TID + 1
+    out.append({
+        "name": "process_name", "ph": "M", "pid": fabric_pid, "tid": 0,
+        "args": {"name": "repro-fabric"},
+    })
+    out.append({
+        "name": "thread_name", "ph": "M", "pid": fabric_pid,
+        "tid": MARKER_TID, "args": {"name": "markers"},
+    })
+    for e in events:
+        args = _event_args(e)
+        pid = e.device if e.device is not None else fabric_pid
+        if e.is_instant:
+            out.append({
+                "name": e.label or e.kind, "ph": "i", "s": "t",
+                "ts": e.start * 1e6, "pid": pid, "tid": MARKER_TID,
+                "cat": e.kind, "args": args,
+            })
+            continue
+        lane_tids = tids.setdefault(pid, {})
+        tid = lane_tids.get(e.lane)
+        if tid is None:
+            tid = lane_tids[e.lane] = next_tid.get(pid, MARKER_TID + 1)
+            next_tid[pid] = tid + 1
+            out.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": e.lane},
+            })
+        out.append({
+            "name": e.label or e.kind, "ph": "X",
+            "ts": e.start * 1e6, "dur": e.duration * 1e6,
+            "pid": pid, "tid": tid,
             "cat": e.kind if e.kind in FAULT_KINDS else (e.phase or e.kind),
             "args": args,
         })

@@ -173,6 +173,44 @@ def _bench_hybrid(quick: bool) -> Prepared:
     return _engine_macro("Hybrid", quick)
 
 
+@register("engine/sharded_bfs", kind="macro",
+          description="full 4-device sharded Ascetic BFS run on scaled GS "
+                      "(fabric + exchange overhead)")
+def _bench_sharded(quick: bool) -> Prepared:
+    return _engine_macro("Sharded", quick)
+
+
+@register("fleet/router_decide", kind="micro",
+          description="router placement decisions over a fleet of warm "
+                      "pools (affinity scan + least-loaded tie-break)")
+def _bench_router(quick: bool) -> Prepared:
+    from repro.gpusim.fabric import FabricSpec
+    from repro.serve.fleet import Router
+    from repro.serve.pool import EnginePool
+
+    n_devices = 8
+    n_keys = 200 if quick else 1_000
+    router = Router(FabricSpec(n_devices=n_devices), shard_over=1.0)
+    rng = np.random.default_rng(23)
+    # Warm pools with a spread of affinity keys; a deterministic key
+    # stream mixes warm hits, cold placements, and oversized graphs.
+    pools = [EnginePool(max_engines=4) for _ in range(n_devices)]
+    for d in range(n_devices):
+        for k in range(d % 3 + 1):
+            pools[d]._engines[(f"G{(d * 3 + k) % 12}", "plain")] = object()
+    keys = [(f"G{rng.integers(0, 16)}", "plain") for _ in range(n_keys)]
+    sizes = rng.integers(1_000, 3_000, size=n_keys)
+    free = list(range(n_devices))
+
+    def run():
+        return [
+            router.decide(key, int(size), 2_000, free, pools)
+            for key, size in zip(keys, sizes)
+        ]
+
+    return Prepared(fn=run, units={"decisions": float(n_keys)})
+
+
 @register("serve/scheduler_decide", kind="micro",
           description="one affinity-scheduler dispatch decision over a "
                       "deep admission queue")

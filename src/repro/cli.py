@@ -11,6 +11,8 @@ Exposes the experiment harness without writing Python::
     repro grid --jobs 4                             # full 4x4x4 grid, cached
     repro chaos FK BFS --engine Subway --seed 7     # fault-injected run
     repro serve --quick -o slo.json                 # seeded SLO load test
+    repro fleet --quick                             # 2-device fleet smoke
+    repro fleet --devices 4 --requests 120          # multi-device load test
     repro bench --quick                             # wall-clock perf smoke
     repro bench --against BENCH_abc123.json         # regression gate
 
@@ -31,6 +33,7 @@ from typing import List, Optional
 from repro.analysis.report import format_table, human_bytes, sparkline
 from repro.core.ascetic import AsceticConfig
 from repro.engines import registry
+from repro.gpusim.fabric import TOPOLOGIES
 from repro.graph.datasets import DATASETS
 from repro.harness.experiments import (
     BENCH_SCALE,
@@ -214,7 +217,69 @@ def build_parser() -> argparse.ArgumentParser:
                       help="seconds to hold a free server for a fuller batch")
     sv_p.add_argument("--max-engines", type=int, default=2,
                       help="warm engine-pool size (default 2)")
+    sv_p.add_argument("--devices", type=int, default=1,
+                      help="simulated devices; >1 routes through the fleet "
+                           "(default 1, the pinned single-server path)")
+    sv_p.add_argument("--topology", default="pcie",
+                      choices=sorted(TOPOLOGIES),
+                      help="inter-device link class for --devices > 1")
+    sv_p.add_argument("--shard-over", type=float, default=None,
+                      help="shard a graph fabric-wide when its edge bytes "
+                           "exceed this multiple of device capacity "
+                           "(default: never shard)")
     sv_p.add_argument("-o", "--output", default=None,
+                      help="write the full JSON report (trace + SLO) here")
+
+    fl_p = sub.add_parser(
+        "fleet",
+        help="run a seeded load test against a multi-device fleet — a "
+             "router over per-device engine pools — and emit the SLO "
+             "report with per-device utilization",
+    )
+    fl_p.add_argument("--quick", action="store_true",
+                      help="the tiny pinned smoke config (CI's fleet-smoke)")
+    fl_p.add_argument("--seed", type=int, default=0,
+                      help="workload-generator seed (default 0)")
+    fl_p.add_argument("--devices", type=int, default=4,
+                      help="simulated devices in the fabric (default 4)")
+    fl_p.add_argument("--topology", default="pcie",
+                      choices=sorted(TOPOLOGIES),
+                      help="inter-device link class (default pcie)")
+    fl_p.add_argument("--shard-over", type=float, default=None,
+                      help="shard a graph fabric-wide when its edge bytes "
+                           "exceed this multiple of device capacity "
+                           "(default: never shard; --quick pins 1.0)")
+    fl_p.add_argument("--requests", type=int, default=48,
+                      help="offered requests (default 48)")
+    fl_p.add_argument("--rate", type=float, default=2.0,
+                      help="arrival rate, requests per simulated second")
+    fl_p.add_argument("--graphs", nargs="+", default=["GS"],
+                      choices=sorted(DATASETS), metavar="ABBR",
+                      help="datasets requests draw from (default GS)")
+    fl_p.add_argument("--algos", nargs="+", default=["BFS", "CC"],
+                      choices=ALGOS, metavar="ALGO",
+                      help="algorithms requests draw from (default BFS CC)")
+    fl_p.add_argument("--engine", default="Ascetic", choices=engine_choices,
+                      help="per-device engine (also the sharded inner)")
+    fl_p.add_argument("--scale", type=float, default=BENCH_SCALE,
+                      help=f"dataset down-scale (default {BENCH_SCALE:g})")
+    fl_p.add_argument("--tenants", nargs="+", default=["t0", "t1"],
+                      metavar="NAME", help="tenant names (default t0 t1)")
+    fl_p.add_argument("--deadline", type=float, default=None,
+                      help="per-request deadline budget in simulated seconds")
+    fl_p.add_argument("--queue-capacity", type=int, default=32,
+                      help="admission-queue bound (default 32)")
+    fl_p.add_argument("--queue-policy", default="reject",
+                      choices=("reject", "drop-oldest", "deadline"),
+                      help="backpressure policy when the queue is full")
+    fl_p.add_argument("--scheduler", default="affinity",
+                      choices=("fifo", "affinity"),
+                      help="dispatch order (default affinity)")
+    fl_p.add_argument("--max-batch", type=int, default=1,
+                      help="fuse up to N compatible traversals per dispatch")
+    fl_p.add_argument("--max-engines", type=int, default=2,
+                      help="warm engine-pool size per device (default 2)")
+    fl_p.add_argument("-o", "--output", default=None,
                       help="write the full JSON report (trace + SLO) here")
 
     ch_p = sub.add_parser(
@@ -404,6 +469,117 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _serve_report_rows(res, config) -> list:
+    """The summary rows `serve` and `fleet` share (counts + pool)."""
+    report = res.report
+    rows = [[k, f"{v:g}"] for k, v in sorted(report["counts"].items())]
+    rows += [
+        ["shed_rate", f"{report['shed_rate']:.2%}"],
+        ["throughput/s", f"{report['throughput_per_second']:.4g}"],
+        ["goodput/s", f"{report['goodput_per_second']:.4g}"],
+        ["warm hits/misses",
+         f"{report['warm']['hits']}/{report['warm']['misses']}"],
+        ["skipped fill", human_bytes(res.pool_stats.skipped_fill_bytes)],
+        ["refilled", human_bytes(res.pool_stats.refill_bytes)],
+    ]
+    return rows
+
+
+def _print_latency(report) -> None:
+    lat = report["latency_seconds"]
+    lat_rows = [
+        [split, f"{lat[split]['p50']:.3f}", f"{lat[split]['p95']:.3f}",
+         f"{lat[split]['p99']:.3f}", f"{lat[split]['mean']:.3f}"]
+        for split in ("queue", "service", "e2e")
+    ]
+    print(format_table(["latency (s)", "p50", "p95", "p99", "mean"], lat_rows))
+
+
+def _print_fleet_result(res, write_to: Optional[str]) -> int:
+    import json
+
+    config = res.config
+    serve = config.serve
+    report = res.report
+    rows = _serve_report_rows(res, serve)
+    print(format_table(
+        ["quantity", "value"], rows,
+        title=f"fleet — {config.fabric.n_devices}x {serve.engine} over "
+              f"{config.fabric.topology}, {serve.scheduler} scheduler, "
+              f"seed {serve.seed} ({res.horizon:.1f}s simulated)",
+    ))
+    _print_latency(report)
+    fleet = report.get("fleet", {})
+    dev_rows = [
+        [name, f"{d['dispatches']:g}", f"{d['requests']:g}",
+         f"{d['busy_seconds']:.2f}s", f"{d['utilization']:.0%}",
+         human_bytes(d["exchange_bytes"])]
+        for name, d in fleet.get("devices", {}).items()
+    ]
+    if dev_rows:
+        print(format_table(
+            ["device", "dispatches", "requests", "busy", "util", "exchange"],
+            dev_rows,
+            title=f"per-device utilization — "
+                  f"{fleet.get('sharded_dispatches', 0):g} of "
+                  f"{fleet.get('n_dispatches', 0):g} dispatches fabric-wide",
+        ))
+    if write_to:
+        payload = res.trace_payload()
+        payload["digest"] = res.run_digest()
+        payload["pool"] = res.pool_stats.as_dict()
+        payload["device_pools"] = {
+            str(d): stats.as_dict()
+            for d, stats in sorted(res.device_pool_stats.items())
+        }
+        payload["tenant_accounts"] = {
+            name: acct.as_dict() for name, acct in sorted(res.tenants.items())
+        }
+        with open(write_to, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {write_to}")
+    print(f"digest: {res.run_digest()}")
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    from repro.gpusim.fabric import FabricSpec
+    from repro.serve import ServeConfig
+    from repro.serve.fleet import (
+        FleetConfig,
+        fleet_quick_config,
+        run_fleet_test,
+    )
+
+    if args.quick:
+        # --quick pins the whole config (like `serve --quick`): two
+        # devices over PCIe, GS replicated, FK sharded fabric-wide.
+        config = fleet_quick_config(seed=args.seed)
+    else:
+        config = FleetConfig(
+            serve=ServeConfig(
+                seed=args.seed,
+                n_requests=args.requests,
+                arrival_rate=args.rate,
+                graphs=tuple(args.graphs),
+                algorithms=tuple(a.upper() for a in args.algos),
+                tenants=tuple(args.tenants),
+                deadline=args.deadline,
+                engine=args.engine,
+                scale=args.scale,
+                queue_capacity=args.queue_capacity,
+                queue_policy=args.queue_policy,
+                scheduler=args.scheduler,
+                max_batch=args.max_batch,
+                max_engines=args.max_engines,
+            ),
+            fabric=FabricSpec(n_devices=args.devices,
+                              topology=args.topology),
+            shard_over=args.shard_over,
+        )
+    return _print_fleet_result(run_fleet_test(config), args.output)
+
+
 def _cmd_serve(args) -> int:
     import json
 
@@ -430,31 +606,26 @@ def _cmd_serve(args) -> int:
             batch_wait=args.batch_wait,
             max_engines=args.max_engines,
         )
+    if args.devices > 1:
+        from repro.gpusim.fabric import FabricSpec
+        from repro.serve.fleet import FleetConfig, run_fleet_test
+
+        fleet_config = FleetConfig(
+            serve=config,
+            fabric=FabricSpec(n_devices=args.devices,
+                              topology=args.topology),
+            shard_over=args.shard_over,
+        )
+        return _print_fleet_result(run_fleet_test(fleet_config), args.output)
     res = run_load_test(config)
     report = res.report
-    counts = report["counts"]
-    rows = [[k, f"{v:g}"] for k, v in sorted(counts.items())]
-    rows += [
-        ["shed_rate", f"{report['shed_rate']:.2%}"],
-        ["throughput/s", f"{report['throughput_per_second']:.4g}"],
-        ["goodput/s", f"{report['goodput_per_second']:.4g}"],
-        ["warm hits/misses",
-         f"{report['warm']['hits']}/{report['warm']['misses']}"],
-        ["skipped fill", human_bytes(res.pool_stats.skipped_fill_bytes)],
-        ["refilled", human_bytes(res.pool_stats.refill_bytes)],
-    ]
+    rows = _serve_report_rows(res, config)
     print(format_table(
         ["quantity", "value"], rows,
         title=f"serve — {config.engine} pool, {config.scheduler} scheduler, "
               f"seed {config.seed} ({res.horizon:.1f}s simulated)",
     ))
-    lat = report["latency_seconds"]
-    lat_rows = [
-        [split, f"{lat[split]['p50']:.3f}", f"{lat[split]['p95']:.3f}",
-         f"{lat[split]['p99']:.3f}", f"{lat[split]['mean']:.3f}"]
-        for split in ("queue", "service", "e2e")
-    ]
-    print(format_table(["latency (s)", "p50", "p95", "p99", "mean"], lat_rows))
+    _print_latency(report)
     if args.output:
         payload = res.trace_payload()
         payload["digest"] = res.run_digest()
@@ -595,6 +766,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

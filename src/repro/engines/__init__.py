@@ -47,6 +47,7 @@ from repro.engines.uvm_engine import UVMEngine
 from repro.engines.subway import SubwayEngine
 from repro.core.ascetic import AsceticConfig, AsceticEngine
 from repro.engines.hybrid import HybridEngine, HybridPolicy
+from repro.engines.sharded import ShardedEngine
 from repro.engines import registry
 from repro.engines.registry import EngineInfo
 
@@ -67,5 +68,6 @@ __all__ = [
     "AsceticConfig",
     "HybridEngine",
     "HybridPolicy",
+    "ShardedEngine",
     "registry",
 ]

@@ -178,10 +178,11 @@ def is_registered(name: str) -> bool:
 
 
 def _register_builtins() -> None:
-    """Install the paper's four engines plus Hybrid (idempotent)."""
+    """Install the paper's four engines plus Hybrid and Sharded (idempotent)."""
     from repro.core.ascetic import AsceticEngine
     from repro.engines.hybrid import HybridEngine
     from repro.engines.partition_based import PartitionEngine
+    from repro.engines.sharded import ShardedEngine
     from repro.engines.subway import SubwayEngine
     from repro.engines.uvm_engine import UVMEngine
 
@@ -226,6 +227,15 @@ def _register_builtins() -> None:
                                    "reuse_horizon"),
             transfer_policy="per-chunk migrate/gather/direct from measured "
                             "hotness and needed-vs-moved bytes (HybridPolicy)",
+        )),
+        ("Sharded", ShardedEngine, EngineInfo(
+            description="multi-device meta-engine: equal-edge shards on a "
+                        "fabric of N devices, one inner engine per device, "
+                        "bulk-synchronous delta exchange (docs/fleet.md)",
+            supports_warm_start=False,
+            supported_engine_opts=("fabric", "devices", "topology", "inner"),
+            transfer_policy="per shard, the inner engine's policy; deltas "
+                            "exchanged over inter-device links per superstep",
         )),
     )
     for name, cls, info in builtins:

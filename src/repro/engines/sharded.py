@@ -1,0 +1,260 @@
+"""Multi-device sharded execution over a :class:`~repro.gpusim.fabric.Fabric`.
+
+The :class:`ShardedEngine` is a *meta*-engine: it shards the edge array
+across the fabric's devices (:func:`~repro.graph.shard.shard_graph`),
+instantiates one **inner** engine per device (any registered single-device
+engine — Ascetic or Hybrid are the intended ones), and drives all of them
+through one bulk-synchronous superstep loop:
+
+1. every device runs the inner engine's ``_iteration`` against its own
+   shard — each shard is a full-vertex-set CSR holding only its edge
+   slice, so the global frontier mask filters itself to local work;
+2. a fabric-wide barrier, then an **exchange** phase: each device
+   broadcasts its locally-produced value/frontier deltas (one entry per
+   distinct destination its active local edges touched) to every peer over
+   the inter-device links, charged to the cost model and attributed to the
+   ``Texchange`` phase;
+3. one global ``program.step`` applies the numeric update.
+
+Because the numeric computation is exactly the single global
+``program.step(graph, state)`` per superstep — engines are pure
+data-movement policies — the sharded run's value arrays are **bit-identical**
+to the single-device engines' by construction, which the cross-device
+determinism tests pin.  What sharding buys is capacity: the per-device edge
+slice (and the inner engine's Static Region over it) only has to fit one
+device, so a graph whose edge array exceeds any single device completes on
+a fabric of N.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.algorithms.base import ProgramState, VertexProgram
+from repro.engines.base import Engine, IterationRecord, RunResult
+from repro.graph.csr import CSRGraph
+from repro.graph.shard import GraphShard, shard_graph
+from repro.gpusim.device import GPUSpec
+from repro.gpusim.fabric import Fabric, FabricSpec
+
+__all__ = ["ShardedEngine", "VALUE_DELTA_BYTES"]
+
+#: Bytes each exchanged vertex delta occupies on the wire: the vertex id
+#: (int32) plus its new value (the 8-byte slot every program's value array
+#: uses at paper scale).
+VALUE_DELTA_BYTES = 12
+
+
+class ShardedEngine(Engine):
+    """Bulk-synchronous multi-device engine wrapping per-device inner engines.
+
+    Parameters (beyond the base :class:`~repro.engines.base.Engine` set)
+    ----------------------------------------------------------------------
+    fabric:
+        A :class:`~repro.gpusim.fabric.FabricSpec` (or its plain-dict /
+        HeteroG form) describing the device fleet.  ``None`` builds one
+        from ``devices`` + ``topology`` with every device inheriting the
+        base spec's memory.
+    devices:
+        Device count shorthand when ``fabric`` is not given (default 2).
+    topology:
+        Link class shorthand when ``fabric`` is not given
+        (``"pcie"`` | ``"nvlink"``).
+    inner:
+        Registered name of the per-device engine (default ``"Ascetic"``).
+    """
+
+    name = "Sharded"
+
+    def __init__(
+        self,
+        spec: Optional[GPUSpec] = None,
+        record_spans: bool = False,
+        max_iterations: Optional[int] = None,
+        data_scale: float = 1.0,
+        record_events: bool = False,
+        fault_plan=None,
+        seed: int = 0,
+        fabric: Union[FabricSpec, Mapping, None] = None,
+        devices: Optional[int] = None,
+        topology: str = "pcie",
+        inner: str = "Ascetic",
+    ) -> None:
+        super().__init__(spec=spec, record_spans=record_spans,
+                         max_iterations=max_iterations, data_scale=data_scale,
+                         record_events=record_events, fault_plan=fault_plan,
+                         seed=seed)
+        if self.fault_plan is not None and not self.fault_plan.is_null:
+            raise ValueError(
+                "ShardedEngine does not support chaos-mode fault plans yet; "
+                "inject faults into the inner engine's single-device runs"
+            )
+        if isinstance(fabric, Mapping):
+            fabric = FabricSpec.from_dict(fabric)
+        if fabric is None:
+            fabric = FabricSpec(n_devices=devices if devices else 2,
+                                topology=topology)
+        elif devices is not None and devices != fabric.n_devices:
+            raise ValueError(
+                f"devices={devices} contradicts fabric.n_devices="
+                f"{fabric.n_devices}"
+            )
+        if inner == self.name:
+            raise ValueError("inner engine cannot be Sharded itself")
+        self.fabric_spec: FabricSpec = fabric
+        self.inner = inner
+        #: The last run's fabric (telemetry/tests); rebuilt per run.
+        self.fabric: Optional[Fabric] = None
+
+    # ------------------------------------------------------------ interface
+    # The base-class hooks never run (run() is overridden), but the ABC
+    # requires them.
+    def _prepare(self, gpu, graph, program) -> None:  # pragma: no cover
+        raise NotImplementedError("ShardedEngine drives inner engines")
+
+    def _iteration(self, gpu, graph, program, state) -> None:  # pragma: no cover
+        raise NotImplementedError("ShardedEngine drives inner engines")
+
+    # ----------------------------------------------------------- main loop
+    def run(self, graph: CSRGraph, program: VertexProgram,
+            resume_from=None) -> RunResult:
+        if resume_from is not None:
+            raise NotImplementedError(
+                "ShardedEngine does not support checkpoint resume"
+            )
+        from repro.engines import registry
+
+        program.validate_graph(graph)
+        fabric = Fabric(
+            self.fabric_spec,
+            base=self.spec,
+            record_spans=self.record_spans,
+            charge_scale=1.0 / self.data_scale,
+            record_events=self.record_events,
+        )
+        self.fabric = fabric
+        n = fabric.n_devices
+        shards: List[GraphShard] = shard_graph(graph, n)
+        inners: List[Engine] = [
+            registry.create(
+                self.inner,
+                spec=fabric.topology.gpu_spec(d),
+                data_scale=self.data_scale,
+                max_iterations=self.max_iterations,
+            )
+            for d in range(n)
+        ]
+        state = program.init_state(graph)
+        for d, gpu_d in enumerate(fabric.devices):
+            with gpu_d.phase("Tprepare"):
+                inners[d]._prepare(gpu_d, shards[d].graph, program)
+        fabric.sync_all()
+
+        cap = self.max_iterations if self.max_iterations is not None \
+            else program.max_iterations
+        cap = max(cap, 0)
+        records: List[IterationRecord] = []
+        while state.active.any() and state.iteration < cap \
+                and not program.done(state):
+            if self.iteration_hook is not None:
+                self.iteration_hook(self, fabric.devices[0], graph, state)
+            t0 = fabric.clock.now
+            h2d0 = fabric.events.metrics.bytes_h2d
+            n_active = state.n_active
+            n_edges = state.active_edges(graph)
+            it = state.iteration
+            # Per-device local views of the same global frontier: the shard
+            # CSR zeroes foreign vertices' degrees, so no explicit masking
+            # is needed, and a private state object per device keeps each
+            # FrontierCache coherent for its own (shard, mask) pair.
+            local_states = [ProgramState(active=state.active, iteration=it)
+                            for _ in range(n)]
+            for d, gpu_d in enumerate(fabric.devices):
+                with gpu_d.iteration(it):
+                    inners[d]._iteration(gpu_d, shards[d].graph, program,
+                                         local_states[d])
+            # Superstep barrier: everyone's local work lands before deltas
+            # move — the bulk-synchronous contract that makes one global
+            # step equivalent to the single-device run.
+            fabric.sync_all()
+            self._exchange(fabric, shards, local_states, it)
+            program.step(graph, state)
+            fabric.sync_all()
+            records.append(IterationRecord(
+                iteration=it,
+                n_active_vertices=n_active,
+                n_active_edges=n_edges,
+                bytes_h2d=fabric.events.metrics.bytes_h2d - h2d0,
+                t_start=t0,
+                t_end=fabric.clock.now,
+            ))
+        # Results live replicated on every device; one copy-back suffices.
+        fabric.devices[0].d2h(self._result_bytes(graph), label="results")
+        fabric.sync_all()
+
+        result = RunResult(
+            engine=self.name,
+            algorithm=program.name,
+            graph_name=graph.name,
+            values=program.values(state),
+            iterations=state.iteration,
+            elapsed_seconds=fabric.elapsed,
+            metrics=fabric.events.metrics,
+            gpu_idle_fraction=float(np.mean(
+                [fabric.gpu_idle_fraction(d) for d in range(n)]
+            )),
+            per_iteration=records,
+            extra={"dataset_bytes": graph.dataset_bytes / self.data_scale},
+            event_log=fabric.events if self.record_events else None,
+        )
+        result.extra["n_devices"] = float(n)
+        result.extra["exchange_bytes"] = float(fabric.exchange_bytes)
+        result.extra["max_shard_edge_bytes"] = float(
+            max(s.local_edge_bytes for s in shards) / self.data_scale
+        )
+        horizon = fabric.clock.now
+        for d in range(n):
+            busy = fabric.events.busy_seconds(fabric.devices[d].gpu.key)
+            result.extra[f"device{d}_gpu_busy_frac"] = (
+                busy / horizon if horizon > 0 else 0.0
+            )
+            result.extra[f"device{d}_exchange_bytes"] = float(
+                fabric.exchange_bytes_of(d)
+            )
+        return result
+
+    # ------------------------------------------------------------- exchange
+    def _exchange(self, fabric: Fabric, shards: List[GraphShard],
+                  local_states: List[ProgramState], iteration: int) -> None:
+        """Broadcast each shard's value/frontier deltas to every peer.
+
+        Vertex state is replicated, so after local compute each device owns
+        the freshest values for exactly the destinations its local edges
+        pushed to this superstep; those deltas (vertex id + value, deduped
+        per destination) go to all peers over the inter-device links.  The
+        frontier walk is the one the inner engine already memoized on this
+        ``(shard, mask)`` pair — no second mask walk.
+        """
+        n = fabric.n_devices
+        if n == 1:
+            return
+        per_pair: Dict[Tuple[int, int], int] = {}
+        for d, shard in enumerate(shards):
+            exp = local_states[d].frontier(shard.graph)
+            if exp.n_edges == 0:
+                continue
+            n_updated = int(np.unique(shard.graph.indices[exp.positions]).size)
+            # n_updated counts scaled-graph vertices, so this payload is in
+            # scaled bytes, exactly like every h2d(nbytes) call; the fabric
+            # charges it at paper scale.
+            payload = n_updated * VALUE_DELTA_BYTES
+            for peer in range(n):
+                if peer != d:
+                    per_pair[(d, peer)] = payload
+        if not per_pair:
+            return
+        with fabric.phase("Texchange", iteration=iteration):
+            fabric.all_exchange(per_pair)
+        fabric.sync_all()

@@ -18,6 +18,10 @@ GPU memory control, so this package models the platform deterministically:
   submit emits one :class:`~repro.gpusim.events.SimEvent`, and metrics,
   phases, spans, and idle accounting are folds over the per-run
   :class:`~repro.gpusim.events.EventLog`;
+* :mod:`repro.gpusim.fabric` — multi-device fabric: N
+  :class:`~repro.gpusim.device.SimulatedGPU` instances sharing one clock
+  and one event log, with typed host↔device / device↔device links built
+  from a :class:`~repro.gpusim.fabric.FabricSpec` (see ``docs/fleet.md``);
 * :mod:`repro.gpusim.faults` — deterministic chaos mode: a seeded
   :class:`~repro.gpusim.faults.FaultPlan` /
   :class:`~repro.gpusim.faults.FaultInjector` pair injecting transfer
@@ -36,12 +40,23 @@ from repro.gpusim.events import (
     IdleBreakdown,
     LaneStats,
     SimEvent,
+    fold_device_metrics,
     fold_lane_stats,
     fold_metrics,
     fold_phase_seconds,
     fold_spans,
     idle_breakdown,
+    lane_key,
+    qualified_lane,
     validate_log,
+)
+from repro.gpusim.fabric import (
+    DeviceSpec,
+    Fabric,
+    FabricSpec,
+    FabricTopology,
+    LinkSpec,
+    fold_exchange_bytes,
 )
 from repro.gpusim.events import FAULT_KINDS
 from repro.gpusim.faults import (
@@ -74,8 +89,17 @@ __all__ = [
     "fold_spans",
     "fold_phase_seconds",
     "fold_lane_stats",
+    "fold_device_metrics",
     "idle_breakdown",
+    "lane_key",
+    "qualified_lane",
     "validate_log",
+    "DeviceSpec",
+    "LinkSpec",
+    "FabricSpec",
+    "FabricTopology",
+    "Fabric",
+    "fold_exchange_bytes",
     "FAULT_KINDS",
     "FaultPlan",
     "FaultInjector",

@@ -103,25 +103,33 @@ class SimulatedGPU:
     def __init__(self, spec: GPUSpec, record_spans: bool = False,
                  charge_scale: float = 1.0,
                  record_events: bool = False,
-                 faults=None) -> None:
+                 faults=None,
+                 device_id: Optional[int] = None,
+                 clock: Optional[VirtualClock] = None,
+                 events: Optional[EventLog] = None) -> None:
         if charge_scale <= 0:
             raise ValueError("charge_scale must be positive")
         self.spec = spec
         self.charge_scale = charge_scale
-        self.clock = VirtualClock(record=record_spans)
-        self.events = EventLog(record=record_events)
+        #: Identity within a multi-device :class:`~repro.gpusim.fabric.Fabric`
+        #: (rides on every emitted event); ``None`` for a standalone device.
+        self.device_id = device_id
+        # A Fabric passes one shared clock + log so all its devices live on
+        # one timeline; standalone construction keeps private ones.
+        self.clock = clock if clock is not None else VirtualClock(record=record_spans)
+        self.events = events if events is not None else EventLog(record=record_events)
         #: Optional chaos-mode :class:`~repro.gpusim.faults.FaultInjector`;
         #: None means the fault-free model, bit for bit.
         self.faults = faults
         self.memory = DeviceMemory(spec.memory_bytes, faults=faults,
                                    events=self.events, clock=self.clock)
-        self.gpu = Lane("gpu", self.clock, log=self.events)
-        self.copy = Lane("copy", self.clock, log=self.events)
-        self.cpu = Lane("cpu", self.clock, log=self.events)
+        self.gpu = Lane("gpu", self.clock, log=self.events, device=device_id)
+        self.copy = Lane("copy", self.clock, log=self.events, device=device_id)
+        self.cpu = Lane("cpu", self.clock, log=self.events, device=device_id)
         #: Zero-copy direct-access traffic over the link (EMOGI path).
         #: Separate from the copy engine: direct loads issue from the SMs
         #: and overlap freely with DMA copies in flight.
-        self.direct = Lane("direct", self.clock, log=self.events)
+        self.direct = Lane("direct", self.clock, log=self.events, device=device_id)
 
     @property
     def metrics(self) -> Metrics:
@@ -281,4 +289,4 @@ class SimulatedGPU:
         """Share of elapsed time the GPU compute lane sat idle (§2.2's 68 %)."""
         if self.clock.now <= 0:
             return 0.0
-        return self.events.idle_seconds("gpu", self.clock.now) / self.clock.now
+        return self.events.idle_seconds(self.gpu.key, self.clock.now) / self.clock.now

@@ -46,10 +46,13 @@ __all__ = [
     "COUNTER_FIELDS",
     "FAULT_KINDS",
     "REQUEST_KINDS",
+    "lane_key",
+    "qualified_lane",
     "fold_metrics",
     "fold_spans",
     "fold_phase_seconds",
     "fold_lane_stats",
+    "fold_device_metrics",
     "idle_breakdown",
     "validate_log",
 ]
@@ -91,6 +94,7 @@ FAULT_KINDS = frozenset({
 REQUEST_KINDS = frozenset({
     "request-arrive", "request-admit", "request-shed",
     "request-start", "request-complete", "warm-hit", "warm-miss",
+    "dispatch",
 })
 
 
@@ -106,6 +110,12 @@ class SimEvent:
     an event carries exactly the deltas the legacy call site added.
     ``extra`` holds descriptive key/value pairs (trace-export args) that
     do not fold into any counter.
+
+    ``device`` identifies the simulated device the activity belongs to
+    when several :class:`~repro.gpusim.device.SimulatedGPU` instances
+    share one log (a :class:`~repro.gpusim.fabric.Fabric`).  ``None`` —
+    the single-device default — serializes to nothing, so single-device
+    logs and digests are unchanged.
     """
 
     lane: str
@@ -115,6 +125,7 @@ class SimEvent:
     end: float
     phase: Optional[str] = None
     iteration: Optional[int] = None
+    device: Optional[int] = None
     bytes_h2d: int = 0
     bytes_d2h: int = 0
     h2d_transfers: int = 0
@@ -156,6 +167,8 @@ class SimEvent:
             out["phase"] = self.phase
         if self.iteration is not None:
             out["iteration"] = self.iteration
+        if self.device is not None:
+            out["device"] = self.device
         for name in COUNTER_FIELDS:
             value = getattr(self, name)
             if value:
@@ -176,6 +189,25 @@ class SimEvent:
         if unknown:
             raise ValueError(f"unknown SimEvent fields: {sorted(unknown)}")
         return cls(**kwargs)
+
+
+def lane_key(event: SimEvent) -> str:
+    """The lane-identity key an event's lane time is accounted under.
+
+    Single-device events (``device is None``) keep the bare lane name —
+    every existing fold, stat key, and digest is unchanged.  Events from a
+    multi-device fabric are qualified as ``"<lane>@<device>"`` so each
+    device's lanes stay serially ordered and separately accountable even
+    though all devices share one :class:`EventLog`.
+    """
+    if event.device is None:
+        return event.lane
+    return f"{event.lane}@{event.device}"
+
+
+def qualified_lane(lane: str, device: Optional[int]) -> str:
+    """The :func:`lane_key` for a bare lane name on a given device."""
+    return lane if device is None else f"{lane}@{device}"
 
 
 @dataclass
@@ -258,9 +290,10 @@ class EventLog:
         """Fold ``event`` into the counters (and retain it when recording)."""
         _apply(self.metrics, event)
         if event.lane:
-            stats = self.lane_stats.get(event.lane)
+            key = lane_key(event)
+            stats = self.lane_stats.get(key)
             if stats is None:
-                stats = self.lane_stats[event.lane] = LaneStats()
+                stats = self.lane_stats[key] = LaneStats()
             stats.busy_seconds += event.end - event.start
             stats.n_ops += 1
             if event.start < stats.first_start:
@@ -363,7 +396,7 @@ def fold_metrics(events: Iterable[SimEvent]) -> Metrics:
 def fold_spans(events: Iterable[SimEvent]) -> List[Span]:
     """The legacy span timeline: one span per lane-occupying event."""
     return [
-        Span(lane=e.lane, label=e.label, start=e.start, end=e.end)
+        Span(lane=lane_key(e), label=e.label, start=e.start, end=e.end)
         for e in events
         if e.lane and e.end > e.start
     ]
@@ -380,9 +413,10 @@ def fold_lane_stats(events: Iterable[SimEvent]) -> Dict[str, LaneStats]:
     for e in events:
         if not e.lane:
             continue
-        st = stats.get(e.lane)
+        key = lane_key(e)
+        st = stats.get(key)
         if st is None:
-            st = stats[e.lane] = LaneStats()
+            st = stats[key] = LaneStats()
         st.busy_seconds += e.end - e.start
         st.n_ops += 1
         if e.start < st.first_start:
@@ -390,6 +424,21 @@ def fold_lane_stats(events: Iterable[SimEvent]) -> Dict[str, LaneStats]:
         if e.end > st.last_end:
             st.last_end = e.end
     return stats
+
+
+def fold_device_metrics(events: Iterable[SimEvent]) -> Dict[Optional[int], Metrics]:
+    """Per-device counter bundles from a shared (fabric) event log.
+
+    Events carrying no ``device`` fold under the ``None`` key, so a
+    single-device log comes back as ``{None: fold_metrics(events)}``.
+    """
+    out: Dict[Optional[int], Metrics] = {}
+    for e in events:
+        metrics = out.get(e.device)
+        if metrics is None:
+            metrics = out[e.device] = Metrics()
+        _apply(metrics, e)
+    return out
 
 
 def idle_breakdown(
@@ -408,12 +457,14 @@ def idle_breakdown(
     else:
         events = list(log)
     ops = sorted(
-        ((e.start, e.end) for e in events if e.lane == lane and e.end > e.start),
+        ((e.start, e.end) for e in events
+         if e.lane and lane_key(e) == lane and e.end > e.start),
     )
     retry = sum(
         min(e.end, horizon) - min(e.start, horizon)
         for e in events
-        if e.lane == lane and e.end > e.start and e.kind in FAULT_KINDS
+        if e.lane and lane_key(e) == lane and e.end > e.start
+        and e.kind in FAULT_KINDS
     )
     if horizon < 0:
         raise ValueError(f"negative horizon {horizon}")
@@ -469,13 +520,14 @@ def validate_log(
             if e.end != e.start:
                 raise EventLogError(f"{where}: lane-less event has width")
             continue
-        prev = last_end.get(e.lane)
+        key = lane_key(e)
+        prev = last_end.get(key)
         if prev is not None and e.start < prev:
             raise EventLogError(
-                f"{where}: lane {e.lane!r} self-overlaps "
+                f"{where}: lane {key!r} self-overlaps "
                 f"(starts at {e.start} before previous end {prev})"
             )
-        last_end[e.lane] = e.end
+        last_end[key] = e.end
 
     folded = fold_metrics(log.events)
     _require_metrics_equal(folded, log.metrics, "incrementally folded metrics")

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import Mapping, Optional, Tuple
 
 from repro.gpusim.clock import VirtualClock
-from repro.gpusim.events import EventLog, SimEvent
+from repro.gpusim.events import EventLog, SimEvent, qualified_lane
 from repro.gpusim.faults import FaultInjector, KernelFaultError, TransferFaultError
 
 __all__ = ["Lane"]
@@ -42,18 +42,31 @@ __all__ = ["Lane"]
 
 @dataclass
 class Lane:
-    """One serially-ordered execution engine (GPU SMs, copy engine, CPU)."""
+    """One serially-ordered execution engine (GPU SMs, copy engine, CPU).
+
+    ``device`` identifies the owning simulated device when several share
+    one event log (a :class:`~repro.gpusim.fabric.Fabric`); it rides on
+    every emitted event and qualifies the lane's accounting key.  The
+    single-device default ``None`` keeps names, keys, and digests exactly
+    as before.
+    """
 
     name: str
     clock: VirtualClock
     log: EventLog = None  # type: ignore[assignment]
     busy_until: float = 0.0
+    device: Optional[int] = None
 
     def __post_init__(self) -> None:
         # Standalone lanes get a private lean log; a SimulatedGPU wires all
         # its lanes to the shared per-run log instead.
         if self.log is None:
             self.log = EventLog(record=False)
+
+    @property
+    def key(self) -> str:
+        """The lane-identity key this lane's time is accounted under."""
+        return qualified_lane(self.name, self.device)
 
     def submit(self, duration: float, label: str = "", after: float = 0.0,
                *, kind: str = "op",
@@ -82,11 +95,12 @@ class Lane:
         end = start + duration
         self.busy_until = end
         if duration > 0:
-            self.clock.log(self.name, label, start, end)
+            self.clock.log(self.key, label, start, end)
         self.log.emit(SimEvent(
             lane=self.name, kind=kind, label=label, start=start, end=end,
             phase=self.log.current_phase,
             iteration=self.log.current_iteration,
+            device=self.device,
             extra=extra,
             **dict(counters or {}),
         ))
@@ -212,14 +226,14 @@ class Lane:
     @property
     def busy_seconds(self) -> float:
         """Total seconds of work this lane has executed (event-log fold)."""
-        return self.log.busy_seconds(self.name)
+        return self.log.busy_seconds(self.key)
 
     @property
     def n_ops(self) -> int:
-        stats = self.log.lane_stats.get(self.name)
+        stats = self.log.lane_stats.get(self.key)
         return stats.n_ops if stats is not None else 0
 
     def idle_seconds(self, horizon: float | None = None) -> float:
         """Idle time of this lane within ``[0, horizon]`` (default: now)."""
         h = self.clock.now if horizon is None else horizon
-        return self.log.idle_seconds(self.name, h)
+        return self.log.idle_seconds(self.key, h)

@@ -14,6 +14,7 @@ from repro.graph.generators import (
 from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
 from repro.graph.partition import EdgePartition, partition_by_bytes, partition_by_vertex_ranges
 from repro.graph.reorder import bfs_order, degree_order, random_order, relabel
+from repro.graph.shard import GraphShard, halo_map, per_shard_budgets, shard_graph
 
 __all__ = [
     "CSRGraph",
@@ -31,6 +32,10 @@ __all__ = [
     "EdgePartition",
     "partition_by_bytes",
     "partition_by_vertex_ranges",
+    "GraphShard",
+    "shard_graph",
+    "per_shard_budgets",
+    "halo_map",
     "bfs_order",
     "degree_order",
     "random_order",

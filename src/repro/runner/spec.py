@@ -20,12 +20,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.core.ascetic import AsceticConfig
+from repro.gpusim.fabric import FabricSpec
 from repro.gpusim.faults import FaultPlan
 
 __all__ = ["RunSpec"]
 
 #: Option values a spec can carry: JSON scalars plus engine config objects.
-OptValue = Union[str, int, float, bool, None, AsceticConfig, FaultPlan]
+OptValue = Union[str, int, float, bool, None, AsceticConfig, FaultPlan,
+                 FabricSpec]
 
 
 def _encode_opt(value: OptValue) -> Any:
@@ -34,11 +36,13 @@ def _encode_opt(value: OptValue) -> Any:
         return {"__kind__": "AsceticConfig", "fields": value.to_dict()}
     if isinstance(value, FaultPlan):
         return {"__kind__": "FaultPlan", "fields": value.to_dict()}
+    if isinstance(value, FabricSpec):
+        return {"__kind__": "FabricSpec", "fields": value.to_dict()}
     if value is None or isinstance(value, (str, int, float, bool)):
         return value
     raise TypeError(
         f"engine option {value!r} is not serializable; use JSON scalars, "
-        "AsceticConfig, or FaultPlan"
+        "AsceticConfig, FaultPlan, or FabricSpec"
     )
 
 
@@ -49,6 +53,8 @@ def _decode_opt(value: Any) -> OptValue:
             return AsceticConfig.from_dict(value["fields"])
         if value.get("__kind__") == "FaultPlan":
             return FaultPlan.from_dict(value["fields"])
+        if value.get("__kind__") == "FabricSpec":
+            return FabricSpec.from_dict(value["fields"])
         raise ValueError(f"unknown tagged engine option {value!r}")
     return value
 

@@ -31,6 +31,12 @@ The moving parts, each its own module:
 :mod:`~repro.serve.simulator`
     The single-server discrete-event loop tying it together;
     ``repro serve`` on the CLI.
+:mod:`~repro.serve.fleet`
+    The multi-device generalization: a :class:`~repro.serve.fleet.Router`
+    places each dispatch on a per-device engine pool (replicating hot
+    graphs) or fabric-wide through the sharded engine (graphs exceeding
+    single-device capacity); ``repro fleet`` / ``repro serve --devices N``
+    on the CLI.
 
 Determinism contract: no wall clock, no unseeded randomness, no dict-order
 dependence anywhere in this package — ``run_load_test`` is a pure function
@@ -38,6 +44,15 @@ of its config, and its digest is pinned in CI.  See ``docs/serving.md``.
 """
 
 from repro.serve.batching import BatchedBFS, BatchedSSSP, make_batched
+from repro.serve.fleet import (
+    FABRIC,
+    FleetConfig,
+    FleetResult,
+    RouteDecision,
+    Router,
+    fleet_quick_config,
+    run_fleet_test,
+)
 from repro.serve.pool import EnginePool, PoolStats
 from repro.serve.queue import QUEUE_POLICIES, AdmissionQueue, TenantAccount
 from repro.serve.request import (
@@ -62,7 +77,12 @@ from repro.serve.simulator import (
     quick_config,
     run_load_test,
 )
-from repro.serve.slo import SLO_SCHEMA, fold_slo, report_digest
+from repro.serve.slo import (
+    SLO_SCHEMA,
+    SLO_SCHEMA_FLEET,
+    fold_slo,
+    report_digest,
+)
 
 __all__ = [
     # requests + workload
@@ -91,6 +111,7 @@ __all__ = [
     "make_batched",
     # SLO
     "SLO_SCHEMA",
+    "SLO_SCHEMA_FLEET",
     "fold_slo",
     "report_digest",
     # load tests
@@ -99,4 +120,12 @@ __all__ = [
     "LoadTestResult",
     "run_load_test",
     "quick_config",
+    # fleet
+    "FABRIC",
+    "FleetConfig",
+    "FleetResult",
+    "Router",
+    "RouteDecision",
+    "run_fleet_test",
+    "fleet_quick_config",
 ]

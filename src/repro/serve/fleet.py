@@ -1,0 +1,425 @@
+"""Multi-device serving: a router in front of per-device engine pools.
+
+The single-server simulator (:mod:`repro.serve.simulator`) models one
+engine slot.  A *fleet* models N simulated devices sharing one admission
+queue: a :class:`Router` decides, per dispatch, which device serves the
+batch — or whether the graph is too large for any one device and must run
+as a fabric-wide :class:`~repro.engines.sharded.ShardedEngine` dispatch
+spanning every device.  Two placement regimes fall out:
+
+* **replicate-hot** — requests for a graph that fits a device land on
+  whichever free device already holds its warm Static Region (affinity),
+  else on the least-loaded free device; a hot graph therefore gets
+  replicated across devices organically, one warm pool entry per device
+  that served it.
+* **shard-oversized** — a graph whose (scaled) edge array exceeds
+  ``shard_over`` × the largest single device's capacity is routed to the
+  fabric: one :class:`ShardedEngine` run over all devices, with the
+  inter-device exchange traffic charged by the fabric's cost model and
+  surfaced in the SLO report's ``fleet`` section.
+
+Everything stays on the shared serve clock and the shared seeded workload
+stream, so a fleet load test replays bit for bit — same trace, same event
+stream, same report, same digest — exactly like the single-server path.
+The single-server code is untouched: the fleet loop emits its own
+``dispatch`` markers (with device ids), and :func:`~repro.serve.slo.fold_slo`
+adds the per-device section only when those markers are present, so the
+pinned single-device serve digest stays valid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engines import registry
+from repro.engines.base import RunResult
+from repro.gpusim.events import EventLog, SimEvent
+from repro.gpusim.fabric import FabricSpec
+from repro.serve.pool import EnginePool, PoolStats
+from repro.serve.queue import AdmissionQueue, TenantAccount
+from repro.serve.request import (
+    Request,
+    RequestStatus,
+    Response,
+    engine_key,
+    generate_requests,
+)
+from repro.serve.scheduler import make_scheduler
+from repro.serve.simulator import ServeConfig, WorkloadCatalog
+from repro.serve.slo import canonical_json, fold_slo
+
+__all__ = [
+    "FABRIC",
+    "FleetConfig",
+    "FleetResult",
+    "RouteDecision",
+    "Router",
+    "fleet_quick_config",
+    "run_fleet_test",
+]
+
+#: Pseudo-device id for a fabric-wide (sharded) dispatch.
+FABRIC = -1
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything a fleet load test depends on — the digest's whole input."""
+
+    #: The workload / queue / scheduler / pool knobs, shared verbatim with
+    #: the single-server simulator so a fleet is directly comparable to
+    #: one device running the same :class:`ServeConfig`.
+    serve: ServeConfig = field(default_factory=ServeConfig)
+    #: Device count, per-device memories, and link topology.
+    fabric: FabricSpec = field(default_factory=FabricSpec)
+    #: Shard threshold: route a graph fabric-wide when its scaled edge
+    #: bytes exceed ``shard_over`` × the largest device capacity.
+    #: ``None`` disables sharding (replicate-only routing).
+    shard_over: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.shard_over is not None and self.shard_over <= 0:
+            raise ValueError("shard_over must be positive (or None)")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "serve": self.serve.as_dict(),
+            "fabric": self.fabric.to_dict(),
+            "shard_over": self.shard_over,
+        }
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Where one dispatch goes and why (the ``reason`` shows up in tests
+    and the router bench, not in the digest)."""
+
+    #: Device id, or :data:`FABRIC` for a fabric-wide sharded run.
+    target: int
+    reason: str  # "warm-affinity" | "least-loaded" | "oversized"
+
+    @property
+    def sharded(self) -> bool:
+        return self.target == FABRIC
+
+
+class Router:
+    """Deterministic placement policy in front of the admission queue.
+
+    Decision order (first match wins):
+
+    1. **oversized** — the graph's scaled edge array exceeds
+       ``shard_over`` × the largest single-device capacity: run it
+       fabric-wide with :class:`~repro.engines.sharded.ShardedEngine`.
+    2. **warm-affinity** — a free device's pool already holds the
+       affinity key: route there (lowest device id on ties).
+    3. **least-loaded** — the free device with the fewest pooled engines
+       (lowest id on ties), which spreads replicas of hot graphs across
+       the fleet.
+    """
+
+    def __init__(self, spec: FabricSpec,
+                 shard_over: Optional[float] = None) -> None:
+        self.spec = spec
+        if shard_over is not None and shard_over <= 0:
+            raise ValueError("shard_over must be positive (or None)")
+        self.shard_over = shard_over
+
+    def capacity(self, default_memory_bytes: int) -> int:
+        """The largest single-device capacity in the fabric (scaled bytes)."""
+        return max(self.spec.memory_of(d, default_memory_bytes)
+                   for d in range(self.spec.n_devices))
+
+    def oversized(self, edge_bytes: int, default_memory_bytes: int) -> bool:
+        """Whether a graph of ``edge_bytes`` must be sharded fabric-wide."""
+        if self.shard_over is None:
+            return False
+        return edge_bytes > self.shard_over * self.capacity(
+            default_memory_bytes)
+
+    def decide(self, key: Tuple[str, str], edge_bytes: int,
+               default_memory_bytes: int, free_devices: Sequence[int],
+               pools: Sequence[EnginePool]) -> RouteDecision:
+        if self.oversized(edge_bytes, default_memory_bytes):
+            return RouteDecision(FABRIC, "oversized")
+        if not free_devices:
+            raise ValueError("router needs at least one free device")
+        for d in free_devices:
+            if key in pools[d].warm_keys():
+                return RouteDecision(d, "warm-affinity")
+        best = min(free_devices, key=lambda d: (len(pools[d]), d))
+        return RouteDecision(best, "least-loaded")
+
+
+@dataclass
+class FleetResult:
+    """One fleet load test's full, replayable output."""
+
+    config: FleetConfig
+    requests: Tuple[Request, ...]
+    responses: Tuple[Response, ...]
+    events: List[SimEvent]
+    report: Dict[str, Any]
+    #: Per-device warm-reuse ledgers (device id → stats).
+    device_pool_stats: Dict[int, PoolStats]
+    tenants: Dict[str, TenantAccount]
+    horizon: float = 0.0
+    run_results: List[RunResult] = field(default_factory=list)
+
+    @property
+    def pool_stats(self) -> PoolStats:
+        """All devices' ledgers merged (fleet-wide totals)."""
+        merged = PoolStats()
+        for d in sorted(self.device_pool_stats):
+            merged.merge(self.device_pool_stats[d])
+        return merged
+
+    def trace_payload(self) -> Dict[str, Any]:
+        """Canonical JSON-able form of trace + outcomes + report."""
+        return {
+            "config": self.config.as_dict(),
+            "requests": [asdict(r) for r in self.requests],
+            "responses": [
+                {
+                    "request_id": resp.request.request_id,
+                    "status": resp.status.value,
+                    "shed_reason": resp.shed_reason,
+                    "start_time": resp.start_time,
+                    "finish_time": resp.finish_time,
+                    "batch_size": resp.batch_size,
+                    "warm": resp.warm,
+                    "device": resp.device,
+                }
+                for resp in self.responses
+            ],
+            "report": self.report,
+        }
+
+    def run_digest(self) -> str:
+        """Digest over trace + responses + report (what fleet-smoke diffs)."""
+        blob = canonical_json(self.trace_payload())
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def run_fleet_test(config: FleetConfig,
+                   requests: Optional[Tuple[Request, ...]] = None
+                   ) -> FleetResult:
+    """Run one seeded fleet load test; pure function of ``(config, requests)``.
+
+    The same discrete-event discipline as
+    :func:`~repro.serve.simulator.run_load_test`, generalized to N device
+    slots: arrivals are offered to the shared admission queue at their own
+    arrival times, the scheduler picks the next batch when a device frees
+    up, the router places it, and the chosen device's (or the fabric's)
+    simulated run provides the service time.
+    """
+    serve = config.serve
+    if requests is None:
+        requests = generate_requests(
+            n_requests=serve.n_requests,
+            seed=serve.seed,
+            arrival_rate=serve.arrival_rate,
+            graphs=serve.graphs,
+            algorithms=serve.algorithms,
+            tenants=serve.tenants,
+            priorities=serve.priorities,
+            deadline=serve.deadline,
+            multi_source=serve.multi_source,
+        )
+    n_devices = config.fabric.n_devices
+    catalog = WorkloadCatalog(serve.scale)
+    log = EventLog(record=True)
+    queue = AdmissionQueue(serve.queue_capacity, serve.queue_policy)
+    scheduler = make_scheduler(serve.scheduler, serve.max_batch,
+                               serve.aging_seconds)
+    warm_capable = registry.describe(serve.engine).supports_warm_start
+    pools = [EnginePool(serve.max_engines, keep_static=warm_capable)
+             for _ in range(n_devices)]
+    router = Router(config.fabric, config.shard_over)
+    responses: Dict[int, Response] = {}
+    run_results: List[RunResult] = []
+
+    def shed(victim: Request, reason: str, t: float) -> None:
+        log.marker("request-shed", reason, t,
+                   extra=(("request", float(victim.request_id)),))
+        responses[victim.request_id] = Response(
+            request=victim, status=RequestStatus.SHED, shed_reason=reason)
+
+    def admit_until(t: float) -> None:
+        nonlocal next_arrival
+        while next_arrival < len(requests) \
+                and requests[next_arrival].arrival <= t:
+            r = requests[next_arrival]
+            next_arrival += 1
+            log.marker(
+                "request-arrive", f"{r.tenant}/{r.graph_id}/{r.algorithm}",
+                r.arrival,
+                extra=(("request", float(r.request_id)),
+                       ("deadline", -1.0 if r.deadline is None
+                        else float(r.deadline)),
+                       ("priority", float(r.priority))))
+            for victim, reason in queue.purge_expired(r.arrival):
+                shed(victim, reason, r.arrival)
+            admitted, dropped = queue.offer(r, r.arrival)
+            for victim, reason in dropped:
+                shed(victim, reason, r.arrival)
+            if admitted:
+                log.marker("request-admit", r.tenant, r.arrival,
+                           extra=(("request", float(r.request_id)),))
+
+    def warm_union(free: Sequence[int]) -> Tuple[Any, ...]:
+        """Warm keys across the free devices' pools, device order, deduped."""
+        seen = []
+        for d in free:
+            for key in pools[d].warm_keys():
+                if key not in seen:
+                    seen.append(key)
+        return tuple(seen)
+
+    next_arrival = 0
+    free_at = [0.0] * n_devices
+    now = 0.0
+    while next_arrival < len(requests) or queue:
+        now = max(now, min(free_at))
+        if not queue:
+            if next_arrival >= len(requests):
+                break
+            now = max(now, requests[next_arrival].arrival)
+        admit_until(now)
+        if not queue:
+            continue  # the shed path can drain what just arrived
+        # Hold a free device briefly if another arrival could complete a
+        # batch — the same latency/throughput knob as the single server.
+        if (serve.max_batch > 1 and serve.batch_wait > 0
+                and next_arrival < len(requests)
+                and len(queue) < serve.max_batch
+                and requests[next_arrival].arrival <= now + serve.batch_wait):
+            now = requests[next_arrival].arrival
+            continue
+        for victim, reason in queue.purge_expired(now):
+            shed(victim, reason, now)
+        if not queue:
+            continue
+        free = [d for d in range(n_devices) if free_at[d] <= now]
+        batch = scheduler.select(queue.items, now, warm_union(free))
+        for r in batch:
+            queue.take(r)
+        key = engine_key(batch[0])
+        graph = catalog.graph(*key)
+        graph_id = key[0]
+        spec = catalog.spec(graph_id)
+        data_scale = catalog.data_scale(graph_id)
+        decision = router.decide(key, graph.edge_array_bytes,
+                                 spec.memory_bytes, free, pools)
+
+        if decision.sharded:
+            # Fabric-wide dispatch: wait for every device, then run the
+            # graph sharded across all of them.
+            start = max([now] + free_at)
+            admit_until(start)
+            engine = registry.create(
+                "Sharded", spec=spec, data_scale=data_scale,
+                fabric=config.fabric, inner=serve.engine)
+            pooled, device = False, FABRIC
+        else:
+            start = now
+            device = decision.target
+            engine, pooled = pools[device].acquire(
+                key, lambda: registry.create(serve.engine, spec=spec,
+                                             data_scale=data_scale))
+        log.marker("warm-hit" if pooled else "warm-miss",
+                   f"{key[0]}/{key[1]}", start,
+                   extra=(("requests", float(len(batch))),
+                          ("device", float(device))))
+        for r in batch:
+            log.marker("request-start", r.tenant, start,
+                       extra=(("request", float(r.request_id)),
+                              ("batch", float(len(batch))),
+                              ("warm", 1.0 if pooled else 0.0),
+                              ("device", float(device))))
+        result = engine.run(graph, catalog.program_for(batch, graph))
+        run_results.append(result)
+        warm_run = bool(result.extra.get("warm_start", 0.0))
+        finish = start + result.elapsed_seconds
+        if decision.sharded:
+            for d in range(n_devices):
+                free_at[d] = finish
+        else:
+            pools[device].fold_result(result)
+            free_at[device] = finish
+        log.marker(
+            "dispatch", "fabric" if decision.sharded else f"dev{device}",
+            start,
+            extra=(("device", float(device)),
+                   ("devices", float(n_devices)),
+                   ("requests", float(len(batch))),
+                   ("service", float(result.elapsed_seconds)),
+                   ("exchange_bytes",
+                    float(result.extra.get("exchange_bytes", 0.0)))))
+        for r in batch:
+            log.marker("request-complete", r.tenant, finish,
+                       extra=(("request", float(r.request_id)),
+                              ("warm_start", 1.0 if warm_run else 0.0),
+                              ("device", float(device))))
+            queue.note_completed(r, result.elapsed_seconds)
+            responses[r.request_id] = Response(
+                request=r, status=RequestStatus.COMPLETED,
+                start_time=start, finish_time=finish,
+                batch_size=len(batch), warm=warm_run, device=device)
+        now = start  # the next free device may predate this finish
+
+    done = [resp.finish_time for resp in responses.values()
+            if resp.finish_time is not None]
+    horizon = max(done + [r.arrival for r in requests]) if requests else 0.0
+    report = fold_slo(log.events, horizon=horizon)
+    return FleetResult(
+        config=config,
+        requests=requests,
+        responses=tuple(responses[r.request_id] for r in requests),
+        events=log.events,
+        report=report,
+        device_pool_stats={d: pools[d].stats for d in range(n_devices)},
+        tenants=dict(queue.tenants),
+        horizon=horizon,
+        run_results=run_results,
+    )
+
+
+def fleet_quick_config(seed: int = 0, n_devices: int = 2,
+                       topology: str = "pcie") -> FleetConfig:
+    """The tiny seeded fleet load test behind ``repro fleet --quick``.
+
+    Same spirit as :func:`~repro.serve.simulator.quick_config`, with two
+    graphs so both router regimes fire: GS requests replicate across the
+    devices' warm pools while FK — pushed over the ``shard_over``
+    threshold — runs fabric-wide through the sharded engine, exercising
+    the exchange-phase accounting in the SLO report.
+    """
+    return FleetConfig(
+        serve=ServeConfig(
+            seed=seed,
+            n_requests=16,
+            arrival_rate=0.5,
+            graphs=("GS", "FK"),
+            algorithms=("BFS", "CC", "SSSP"),
+            tenants=("acme", "beta"),
+            priorities=(0, 1),
+            deadline=90.0,
+            multi_source=2,
+            engine="Ascetic",
+            scale=5e-5,
+            queue_capacity=8,
+            queue_policy="deadline",
+            scheduler="affinity",
+            max_batch=2,
+            batch_wait=0.25,
+            max_engines=2,
+        ),
+        fabric=FabricSpec(n_devices=n_devices, topology=topology),
+        # Literal "exceeds a single device's capacity": GS's plain edge
+        # array fits (0.72x device memory at this scale) and replicates;
+        # FK's (1.04x) and the weighted views go fabric-wide.
+        shard_over=1.0,
+    )

@@ -60,6 +60,17 @@ class PoolStats:
             "invalidated_chunks": self.invalidated_chunks,
         }
 
+    def merge(self, other: "PoolStats") -> "PoolStats":
+        """Accumulate ``other`` into this ledger (fleet per-device rollup)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.warm_runs += other.warm_runs
+        self.skipped_fill_bytes += other.skipped_fill_bytes
+        self.refill_bytes += other.refill_bytes
+        self.invalidated_chunks += other.invalidated_chunks
+        return self
+
 
 class EnginePool:
     """LRU-bounded map of affinity key → reusable engine instance."""

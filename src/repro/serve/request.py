@@ -119,6 +119,9 @@ class Response:
     finish_time: Optional[float] = None
     batch_size: int = 1
     warm: bool = False
+    #: Device that served the request in a fleet run (``None`` on the
+    #: single-server path; ``-1`` = a fabric-wide sharded dispatch).
+    device: Optional[int] = None
 
     @property
     def completed(self) -> bool:

@@ -26,10 +26,17 @@ from typing import Any, Dict, Iterable, List
 
 from repro.gpusim.events import SimEvent
 
-__all__ = ["SLO_SCHEMA", "fold_slo", "report_digest", "canonical_json"]
+__all__ = ["SLO_SCHEMA", "SLO_SCHEMA_FLEET", "fold_slo", "report_digest",
+           "canonical_json"]
 
 #: Report schema identifier; bump on any shape change.
 SLO_SCHEMA = "repro.serve/1"
+
+#: Schema a report carries when it includes the per-device ``fleet``
+#: section (multi-device load tests emit ``dispatch`` markers; the
+#: single-server simulator never does, so its reports — and the pinned
+#: CI digest — keep :data:`SLO_SCHEMA` exactly).
+SLO_SCHEMA_FLEET = "repro.serve/2-fleet"
 
 
 def _percentiles(samples: List[float]) -> Dict[str, float]:
@@ -65,6 +72,7 @@ def fold_slo(events: Iterable[SimEvent], horizon: float | None = None) -> Dict[s
     admitted = 0
     warm_hits = 0
     warm_misses = 0
+    dispatches: List[SimEvent] = []
     last_t = 0.0
     for e in events:
         last_t = max(last_t, e.end)
@@ -84,6 +92,8 @@ def fold_slo(events: Iterable[SimEvent], horizon: float | None = None) -> Dict[s
             warm_hits += 1
         elif e.kind == "warm-miss":
             warm_misses += 1
+        elif e.kind == "dispatch":
+            dispatches.append(e)
     if horizon is None:
         horizon = last_t
 
@@ -128,7 +138,7 @@ def fold_slo(events: Iterable[SimEvent], horizon: float | None = None) -> Dict[s
 
     arrived = len(arrive)
     completed = len(complete)
-    return {
+    out = {
         "schema": SLO_SCHEMA,
         "horizon_seconds": horizon,
         "counts": {
@@ -148,6 +158,73 @@ def fold_slo(events: Iterable[SimEvent], horizon: float | None = None) -> Dict[s
         "shed_rate": len(shed) / arrived if arrived else 0.0,
         "warm": {"hits": warm_hits, "misses": warm_misses},
         "tenants": {name: tenants[name] for name in sorted(tenants)},
+    }
+    if dispatches:
+        out["schema"] = SLO_SCHEMA_FLEET
+        out["fleet"] = _fold_fleet(dispatches, horizon)
+    return out
+
+
+def _fold_fleet(dispatches: List[SimEvent],
+                horizon: float) -> Dict[str, Any]:
+    """Per-device utilization and exchange traffic from ``dispatch`` markers.
+
+    Each fleet dispatch emits one instant ``dispatch`` event carrying the
+    serving device (``-1`` = a fabric-wide sharded run occupying every
+    device), the batch size, the service seconds, and — for sharded
+    dispatches — the inter-device exchange bytes the run charged.  A
+    fabric-wide dispatch's busy time is credited to *every* device listed
+    in its ``devices`` count, so per-device utilization reflects real
+    occupancy either way.
+    """
+    devices: Dict[int, Dict[str, float]] = {}
+
+    def bucket(d: int) -> Dict[str, float]:
+        b = devices.get(d)
+        if b is None:
+            b = devices[d] = {
+                "dispatches": 0, "requests": 0,
+                "busy_seconds": 0.0, "exchange_bytes": 0.0,
+            }
+        return b
+
+    sharded = 0
+    exchange_total = 0.0
+    for e in dispatches:
+        extra = dict(e.extra)
+        dev = int(extra.get("device", 0))
+        service = float(extra.get("service", 0.0))
+        n_req = int(extra.get("requests", 1))
+        xbytes = float(extra.get("exchange_bytes", 0.0))
+        exchange_total += xbytes
+        if dev < 0:
+            sharded += 1
+            n_dev = max(int(extra.get("devices", 1)), 1)
+            for d in range(n_dev):
+                b = bucket(d)
+                b["busy_seconds"] += service
+                b["exchange_bytes"] += xbytes / n_dev
+            b = bucket(dev)  # the fabric-wide ledger itself
+            b["dispatches"] += 1
+            b["requests"] += n_req
+            b["busy_seconds"] += service
+            b["exchange_bytes"] += xbytes
+        else:
+            b = bucket(dev)
+            b["dispatches"] += 1
+            b["requests"] += n_req
+            b["busy_seconds"] += service
+    for b in devices.values():
+        b["utilization"] = (b["busy_seconds"] / horizon
+                            if horizon and horizon > 0 else 0.0)
+    return {
+        "devices": {
+            ("fabric" if d < 0 else str(d)): devices[d]
+            for d in sorted(devices)
+        },
+        "n_dispatches": len(dispatches),
+        "sharded_dispatches": sharded,
+        "exchange_bytes": exchange_total,
     }
 
 

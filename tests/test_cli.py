@@ -116,11 +116,11 @@ class TestGridCommand:
                 "--jobs", "2", "--cache-dir", str(tmp_path / "cache")]
         assert main(argv) == 0
         cold = capsys.readouterr().out
-        assert "5 computed" in cold
+        assert "6 computed" in cold
         assert main(argv) == 0
         warm = capsys.readouterr().out
-        assert "5 cached" in warm
-        assert "5 hit(s)" in warm
+        assert "6 cached" in warm
+        assert "6 hit(s)" in warm
 
     def test_grid_no_cache(self, capsys, tmp_path):
         rc = main(["grid", "--datasets", "FK", "--algos", "BFS",

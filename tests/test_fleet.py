@@ -1,0 +1,200 @@
+"""Fleet serving tests: router policy, determinism, and the scaling pin.
+
+The acceptance test at the bottom is the PR's serving-layer claim: under a
+pinned 120-request load, a 4-device fleet beats a single device on p95
+end-to-end latency, and the fleet run replays bit for bit (twice-run
+digest identity).
+"""
+
+import pytest
+
+from repro.gpusim.fabric import FabricSpec
+from repro.serve import (
+    FABRIC,
+    FleetConfig,
+    Router,
+    ServeConfig,
+    SLO_SCHEMA_FLEET,
+    fleet_quick_config,
+    run_fleet_test,
+    run_load_test,
+)
+from repro.serve.pool import EnginePool
+from repro.serve.slo import SLO_SCHEMA
+
+
+class FakePool:
+    """Just enough of EnginePool for Router.decide: warm keys + length."""
+
+    def __init__(self, keys=()):
+        self._keys = tuple(keys)
+
+    def warm_keys(self):
+        return self._keys
+
+    def __len__(self):
+        return len(self._keys)
+
+
+class TestRouter:
+    def make(self, n=4, mems=None, shard_over=None):
+        spec = FabricSpec(n_devices=n, device_mems=mems)
+        return Router(spec, shard_over)
+
+    def test_warm_affinity_wins(self):
+        router = self.make()
+        pools = [FakePool(), FakePool([("GS", "plain")]),
+                 FakePool(), FakePool()]
+        d = router.decide(("GS", "plain"), 100, 1000, [0, 1, 2, 3], pools)
+        assert d.target == 1
+        assert d.reason == "warm-affinity"
+        assert not d.sharded
+
+    def test_warm_affinity_only_on_free_devices(self):
+        router = self.make()
+        pools = [FakePool(), FakePool([("GS", "plain")]),
+                 FakePool(), FakePool()]
+        d = router.decide(("GS", "plain"), 100, 1000, [0, 2], pools)
+        assert d.reason == "least-loaded"
+        assert d.target == 0
+
+    def test_least_loaded_prefers_emptiest_pool(self):
+        router = self.make()
+        pools = [FakePool([("A", "plain"), ("B", "plain")]),
+                 FakePool([("A", "plain")]), FakePool(), FakePool()]
+        d = router.decide(("C", "plain"), 100, 1000, [0, 1, 2, 3], pools)
+        assert d.target == 2  # empty pool, lowest id on the 2/3 tie
+
+    def test_oversized_routes_to_fabric(self):
+        router = self.make(shard_over=1.0)
+        d = router.decide(("FK", "plain"), 2000, 1000, [0, 1, 2, 3],
+                          [FakePool()] * 4)
+        assert d.target == FABRIC
+        assert d.reason == "oversized"
+        assert d.sharded
+
+    def test_capacity_is_largest_device(self):
+        router = self.make(mems=(1000, 4000, 2000, 1000), shard_over=1.0)
+        assert router.capacity(999) == 4000
+        # 3000 bytes fits the biggest device, so it is not oversized.
+        assert not router.oversized(3000, 999)
+        assert router.oversized(5000, 999)
+
+    def test_no_shard_over_disables_sharding(self):
+        router = self.make(shard_over=None)
+        d = router.decide(("FK", "plain"), 10**12, 1000, [0],
+                          [FakePool()] * 4)
+        assert not d.sharded
+
+    def test_no_free_devices_raises(self):
+        router = self.make()
+        with pytest.raises(ValueError, match="free device"):
+            router.decide(("GS", "plain"), 100, 1000, [], [FakePool()] * 4)
+
+    def test_rejects_bad_shard_over(self):
+        with pytest.raises(ValueError):
+            Router(FabricSpec(n_devices=2), shard_over=0.0)
+        with pytest.raises(ValueError):
+            FleetConfig(shard_over=-1.0)
+
+
+class TestFleetQuick:
+    @pytest.fixture(scope="class")
+    def quick_result(self):
+        return run_fleet_test(fleet_quick_config())
+
+    def test_twice_run_digest_identical(self, quick_result):
+        again = run_fleet_test(fleet_quick_config())
+        assert quick_result.run_digest() == again.run_digest()
+
+    def test_report_carries_fleet_schema(self, quick_result):
+        report = quick_result.report
+        assert report["schema"] == SLO_SCHEMA_FLEET
+        fleet = report["fleet"]
+        assert fleet["n_dispatches"] > 0
+        # The quick config is tuned so both regimes fire: GS replicates,
+        # FK (over the shard_over threshold) runs fabric-wide.
+        assert 0 < fleet["sharded_dispatches"] < fleet["n_dispatches"]
+        assert fleet["exchange_bytes"] > 0
+
+    def test_per_device_buckets(self, quick_result):
+        devices = quick_result.report["fleet"]["devices"]
+        n = quick_result.config.fabric.n_devices
+        assert set(devices) == {str(d) for d in range(n)} | {"fabric"}
+        for bucket in devices.values():
+            assert 0.0 <= bucket["utilization"]
+            assert bucket["busy_seconds"] >= 0.0
+        assert devices["fabric"]["dispatches"] == \
+            quick_result.report["fleet"]["sharded_dispatches"]
+
+    def test_responses_carry_device(self, quick_result):
+        n = quick_result.config.fabric.n_devices
+        completed = [r for r in quick_result.responses
+                     if r.finish_time is not None]
+        assert completed
+        for resp in completed:
+            assert resp.device is not None
+            assert resp.device == FABRIC or 0 <= resp.device < n
+        # Some dispatch actually went fabric-wide.
+        assert any(r.device == FABRIC for r in completed)
+
+    def test_per_device_pool_stats_and_merge(self, quick_result):
+        per_dev = quick_result.device_pool_stats
+        assert sorted(per_dev) == list(
+            range(quick_result.config.fabric.n_devices))
+        merged = quick_result.pool_stats
+        assert merged.misses == sum(s.misses for s in per_dev.values())
+        assert merged.hits == sum(s.hits for s in per_dev.values())
+
+    def test_every_request_answered(self, quick_result):
+        assert len(quick_result.responses) == len(quick_result.requests)
+        ids = [r.request.request_id for r in quick_result.responses]
+        assert ids == [r.request_id for r in quick_result.requests]
+
+
+def test_single_server_report_keeps_plain_schema():
+    # The single-server simulator never emits dispatch markers, so its
+    # report keeps the v1 schema — the pinned CI serve digest depends on
+    # this staying true.
+    from repro.serve import quick_config
+
+    report = run_load_test(quick_config()).report
+    assert report["schema"] == SLO_SCHEMA
+    assert "fleet" not in report
+
+
+class TestFleetScaling:
+    """The acceptance pin: 4 devices beat 1 on p95 e2e at 120 requests."""
+
+    CONFIG = ServeConfig(
+        seed=3,
+        n_requests=120,
+        arrival_rate=4.0,
+        graphs=("GS",),
+        algorithms=("BFS", "CC"),
+        engine="Ascetic",
+        scale=5e-5,
+        queue_capacity=200,
+        queue_policy="reject",
+        max_batch=2,
+        max_engines=2,
+    )
+
+    def test_four_devices_beat_one_on_p95(self):
+        single = run_load_test(self.CONFIG)
+        fleet = run_fleet_test(FleetConfig(
+            serve=self.CONFIG, fabric=FabricSpec(n_devices=4)))
+
+        s = single.report
+        f = fleet.report
+        # Same offered load, nothing shed on the fleet side at 4x servers.
+        assert f["counts"]["arrived"] == s["counts"]["arrived"] == 120
+        assert f["counts"]["completed"] >= s["counts"]["completed"]
+        p95_single = s["latency_seconds"]["e2e"]["p95"]
+        p95_fleet = f["latency_seconds"]["e2e"]["p95"]
+        assert p95_fleet < p95_single
+
+        # And the fleet run replays bit for bit.
+        again = run_fleet_test(FleetConfig(
+            serve=self.CONFIG, fabric=FabricSpec(n_devices=4)))
+        assert fleet.run_digest() == again.run_digest()

@@ -25,7 +25,7 @@ def _fresh_cache():
 
 class TestWorkloads:
     def test_engine_registry(self):
-        assert set(ENGINES) == {"PT", "UVM", "Subway", "Ascetic", "Hybrid"}
+        assert set(ENGINES) == {"PT", "UVM", "Subway", "Ascetic", "Hybrid", "Sharded"}
 
     def test_make_workload_basic(self):
         w = make_workload("FK", "BFS", scale=SCALE)

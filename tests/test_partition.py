@@ -88,6 +88,27 @@ class TestPartitionByVertexRanges:
         with pytest.raises(ValueError):
             partition_by_vertex_ranges(tiny_path, 0)
 
+    def test_mega_vertex_splits_mid_edge_list(self):
+        # Regression: a hub whose edge list exceeds the per-part slice
+        # must be split across parts with no edge dropped or duplicated
+        # (the bounds are edge indices, not vertex boundaries).
+        hub = star_graph(40)  # vertex 0 owns ~all edges
+        parts = partition_by_vertex_ranges(hub, 4)
+        check_cover(hub, parts)
+        sizes = [p.n_edges for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+        # The hub's edges land in more than one part.
+        holders = [p for p in parts
+                   if p.e_lo < hub.out_degree()[0] and p.e_hi > 0]
+        assert len(holders) > 1
+
+    @given(st.integers(1, 16), st.integers(0, 6))
+    def test_property_cover_any_count(self, n_parts, seed):
+        graph = rmat_graph(6, 400 + 97 * seed, seed=seed)
+        parts = partition_by_vertex_ranges(graph, n_parts)
+        assert len(parts) == n_parts
+        check_cover(graph, parts)
+
 
 class TestPartitionsOfVertices:
     def _brute(self, graph, parts, active):

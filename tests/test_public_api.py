@@ -155,5 +155,5 @@ def test_engines_package_exports_ascetic():
     import repro.engines as engines
 
     assert engines.AsceticEngine is engines.registry.get("Ascetic")
-    for name in ("PT", "UVM", "Subway", "Ascetic", "Hybrid"):
+    for name in ("PT", "UVM", "Subway", "Ascetic", "Hybrid", "Sharded"):
         assert name in engines.registry.available()

@@ -104,9 +104,12 @@ class TestEveryEngineExports:
         doc = json.loads(out.read_text())
         slices = [r for r in doc["traceEvents"] if r["ph"] == "X"]
         assert slices, f"{engine_name} produced no timeline slices"
+        # Single-device engines export one pid-0 process; the fabric
+        # engine gets one process per device (pid = device id).
+        n_pids = int(res.extra.get("n_devices", 1))
         for r in slices:
             assert r["ts"] >= 0 and r["dur"] >= 0
-            assert r["pid"] == 0 and isinstance(r["tid"], int)
+            assert 0 <= r["pid"] < n_pids and isinstance(r["tid"], int)
         assert doc["otherData"]["engine"] == res.engine
         assert doc["otherData"]["algorithm"] == "BFS"
 
@@ -115,6 +118,59 @@ class TestEveryEngineExports:
         res = run_workload(w, engine_name)
         with pytest.raises(ValueError, match="record_events"):
             to_chrome_trace(res)
+
+
+class TestMultiDeviceExport:
+    def device_log(self):
+        log = EventLog(record=True)
+        log.emit(SimEvent(lane="gpu", kind="kernel", label="k0", start=0.0,
+                          end=0.5, device=0))
+        log.emit(SimEvent(lane="gpu", kind="kernel", label="k1", start=0.0,
+                          end=0.4, device=2))
+        log.marker("dispatch", "dev0", 0.1)  # device-less → fabric process
+        return log
+
+    def test_device_becomes_pid(self):
+        records = chrome_trace_events(self.device_log())
+        slices = {r["name"]: r for r in records if r["ph"] == "X"}
+        assert slices["k0"]["pid"] == 0
+        assert slices["k1"]["pid"] == 2
+
+    def test_process_names_per_device(self):
+        records = chrome_trace_events(self.device_log())
+        names = {r["pid"]: r["args"]["name"] for r in records
+                 if r["ph"] == "M" and r["name"] == "process_name"}
+        assert names[0] == "repro-sim:dev0"
+        assert names[2] == "repro-sim:dev2"
+        # Device-less markers live one pid above the highest device.
+        assert names[3] == "repro-fabric"
+
+    def test_deviceless_markers_go_to_fabric_process(self):
+        records = chrome_trace_events(self.device_log())
+        (m,) = [r for r in records if r["ph"] == "i"]
+        assert m["pid"] == 3
+        assert m["tid"] == MARKER_TID
+
+    def test_single_device_log_is_byte_identical(self):
+        # A log where no event carries a device must export exactly as
+        # before the fabric work — same records, pid 0 throughout.
+        log = recorded_log()
+        assert all(e.device is None for e in log.events)
+        records = chrome_trace_events(log)
+        assert all(r["pid"] == 0 for r in records)
+        assert json.dumps(records) == json.dumps(chrome_trace_events(log))
+
+    def test_sharded_run_exports_one_process_per_device(self, tmp_path):
+        w = make_workload("GS", "BFS", scale=TEST_SCALE)
+        res = run_workload(w, "Sharded", record_events=True, devices=3)
+        doc = json.loads(
+            save_chrome_trace(tmp_path / "sharded.json", res).read_text())
+        pids = {r["pid"] for r in doc["traceEvents"] if r["ph"] == "X"}
+        assert pids == {0, 1, 2}
+        names = {r["args"]["name"] for r in doc["traceEvents"]
+                 if r["ph"] == "M" and r["name"] == "process_name"}
+        assert {"repro-sim:dev0", "repro-sim:dev1",
+                "repro-sim:dev2"} <= names
 
 
 class TestTraceCLI:
