@@ -34,7 +34,12 @@ import numpy as np
 from repro.engines.base import RunResult
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import GPUSpec
-from repro.gpusim.events import FAULT_KINDS, EventLog, SimEvent
+from repro.gpusim.events import (
+    DEVICE_FAULT_KINDS,
+    FAULT_KINDS,
+    EventLog,
+    SimEvent,
+)
 
 __all__ = [
     "AccessTrace",
@@ -198,7 +203,10 @@ def chrome_trace_events(source: TraceSource) -> List[Dict[str, Any]]:
     A fabric log gets one named process per device (``pid`` = device id,
     ``repro-sim:dev<d>``) plus a shared ``repro-fabric`` process for
     device-less markers (the serve layer's request lifecycle), so Perfetto
-    renders the fleet as parallel process groups.
+    renders the fleet as parallel process groups.  Fault and recovery
+    events on a fabric log additionally drive a per-device ``faults``
+    counter track (``ph="C"``), one running count per fault kind, so chaos
+    activity is visible at a glance in each device's process group.
     """
     events = _source_events(source)
     devices = sorted({e.device for e in events if e.device is not None})
@@ -284,9 +292,20 @@ def _multi_device_trace_events(events: List[SimEvent],
         "name": "thread_name", "ph": "M", "pid": fabric_pid,
         "tid": MARKER_TID, "args": {"name": "markers"},
     })
+    fault_counts: Dict[int, Dict[str, int]] = {}
     for e in events:
         args = _event_args(e)
         pid = e.device if e.device is not None else fabric_pid
+        if e.kind in FAULT_KINDS or e.kind in DEVICE_FAULT_KINDS:
+            # Running per-device fault counters, one Chrome counter track
+            # per process: fold_device_faults as a timeline.
+            counts = fault_counts.setdefault(pid, {})
+            key = "fault_" + e.kind.replace("-", "_")
+            counts[key] = counts.get(key, 0) + 1
+            out.append({
+                "name": "faults", "ph": "C", "ts": e.start * 1e6,
+                "pid": pid, "args": dict(sorted(counts.items())),
+            })
         if e.is_instant:
             out.append({
                 "name": e.label or e.kind, "ph": "i", "s": "t",

@@ -227,6 +227,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="shard a graph fabric-wide when its edge bytes "
                            "exceed this multiple of device capacity "
                            "(default: never shard)")
+    sv_p.add_argument("--fabric", default=None, metavar="JSON",
+                      help="explicit FabricSpec as a JSON object (overrides "
+                           "--devices/--topology), e.g. "
+                           "'{\"n_devices\": 2, \"topology\": \"nvlink\"}'")
     sv_p.add_argument("-o", "--output", default=None,
                       help="write the full JSON report (trace + SLO) here")
 
@@ -279,6 +283,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="fuse up to N compatible traversals per dispatch")
     fl_p.add_argument("--max-engines", type=int, default=2,
                       help="warm engine-pool size per device (default 2)")
+    fl_p.add_argument("--fabric", default=None, metavar="JSON",
+                      help="explicit FabricSpec as a JSON object (overrides "
+                           "--devices/--topology), e.g. "
+                           "'{\"n_devices\": 2, \"topology\": \"nvlink\"}'")
     fl_p.add_argument("-o", "--output", default=None,
                       help="write the full JSON report (trace + SLO) here")
 
@@ -298,6 +306,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help=f"dataset down-scale (default {BENCH_SCALE:g})")
     ch_p.add_argument("--memory-bytes", type=int, default=None,
                       help="override the (scaled) device capacity")
+    ch_p.add_argument("--fleet", action="store_true",
+                      help="fleet chaos: kill one device mid-run under the "
+                           "standard fleet plan — a sharded engine run "
+                           "checked bit-identical against fault-free, plus "
+                           "a fleet load test with the degraded SLO report")
+    ch_p.add_argument("--devices", type=int, default=4,
+                      help="fabric size for --fleet (default 4)")
+    ch_p.add_argument("-o", "--output", default=None,
+                      help="with --fleet: write the degraded SLO report "
+                           "JSON here")
     return p
 
 
@@ -437,6 +455,8 @@ def _cmd_chaos(args) -> int:
     from repro.gpusim.faults import standard_plan
     from repro.harness.persistence import result_to_payload
 
+    if args.fleet:
+        return _cmd_chaos_fleet(args)
     w = make_workload(args.dataset, args.algo, scale=args.scale,
                       memory_bytes=args.memory_bytes)
     baseline = run_workload(w, args.engine)
@@ -467,6 +487,137 @@ def _cmd_chaos(args) -> int:
         return 1
     print("values identical to fault-free baseline")
     return 0
+
+
+def _cmd_chaos_fleet(args) -> int:
+    """``repro chaos --fleet``: device loss under the standard fleet plan.
+
+    Two legs, both against fault-free baselines:
+
+    1. **engine** — an N-device sharded run with one device killed halfway
+       (plus a peer-link degradation window); the recovered run's values
+       must be bit-identical to the fault-free run or the command exits
+       nonzero.
+    2. **serve** — the quick fleet load test under the same plan; prints
+       the ``degraded`` SLO section and the run digest (what CI's
+       fleet-chaos-smoke diffs across two runs).
+    """
+    import hashlib
+    import json
+    from dataclasses import replace
+
+    import numpy as np
+
+    from repro.gpusim.events import validate_log
+    from repro.gpusim.faults import standard_fleet_plan
+    from repro.harness.persistence import result_to_payload
+    from repro.serve.fleet import fleet_quick_config, run_fleet_test
+
+    if args.devices < 2:
+        raise SystemExit(
+            f"error: chaos --fleet needs at least 2 devices "
+            f"(n_devices={args.devices})"
+        )
+
+    # --- engine leg: kill one device mid-run, demand bit-identity -------
+    w = make_workload(args.dataset, args.algo, scale=args.scale,
+                      memory_bytes=args.memory_bytes)
+    baseline = run_workload(w, "Sharded", devices=args.devices,
+                            inner=args.engine)
+    half = baseline.elapsed_seconds / 2
+    plan = standard_fleet_plan(
+        seed=args.seed, n_devices=args.devices, down_at=half,
+        degrade_start=baseline.elapsed_seconds * 0.6,
+        degrade_end=baseline.elapsed_seconds * 0.8,
+    )
+    chaos = run_workload(w, "Sharded", devices=args.devices,
+                         inner=args.engine, record_events=True,
+                         fault_plan=plan, seed=args.seed)
+    validate_log(chaos.event_log, metrics=chaos.metrics,
+                 horizon=chaos.elapsed_seconds)
+    rows = [[k, f"{v:g}"] for k, v in sorted(chaos.extra.items())
+            if k.startswith("fault_") or k == "device_losses"]
+    rows += [["slowdown vs fault-free",
+              f"{chaos.elapsed_seconds / baseline.elapsed_seconds:.2f}x"]]
+    print(format_table(
+        ["quantity", "value"], rows,
+        title=f"Fleet chaos — {args.devices}x Sharded[{args.engine}] on "
+              f"{args.dataset}/{args.algo}, device "
+              f"{args.seed % args.devices} down at t={half:.2f}s"))
+    blob = json.dumps(result_to_payload(chaos), sort_keys=True,
+                      separators=(",", ":"))
+    print(f"digest: {hashlib.sha256(blob.encode()).hexdigest()[:16]}")
+    if not np.array_equal(chaos.values, baseline.values):
+        print("error: recovered run diverged from the fault-free baseline",
+              file=sys.stderr)
+        return 1
+    print("values identical to fault-free baseline")
+
+    # --- serve leg: the quick fleet load test under the same plan -------
+    config = replace(
+        fleet_quick_config(seed=args.seed, n_devices=args.devices),
+        fault_plan=standard_fleet_plan(seed=args.seed,
+                                       n_devices=args.devices),
+    )
+    res = run_fleet_test(config)
+    report = res.report
+    degraded = report.get("degraded", {})
+    deg_rows = [
+        ["schema", report["schema"]],
+        ["degraded seconds", f"{degraded.get('degraded_seconds', 0.0):.2f}"],
+        ["retried requests", f"{degraded.get('retried_requests', 0):g}"],
+        ["relocated requests",
+         f"{degraded.get('relocated_requests', 0):g}"],
+        ["goodput under failure",
+         f"{degraded.get('goodput_under_failure', 0.0):.4g}/s"],
+        ["goodput overall", f"{report['goodput_per_second']:.4g}/s"],
+    ]
+    for name, d in degraded.get("devices", {}).items():
+        deg_rows.append([f"device {name} downtime",
+                         f"{d['downtime_seconds']:.2f}s "
+                         f"({d['dispatch_failures']:g} failed dispatches)"])
+    print(format_table(["quantity", "value"], deg_rows,
+                       title="fleet load test under standard_fleet_plan"))
+    if args.output:
+        payload = res.trace_payload()
+        payload["digest"] = res.run_digest()
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    print(f"digest: {res.run_digest()}")
+    return 0
+
+
+def _fabric_from_args(args):
+    """A :class:`FabricSpec` from ``--fabric`` JSON or ``--devices`` /
+    ``--topology``, turning malformed input into a friendly ``SystemExit``
+    that names the offending key instead of a raw traceback."""
+    import json
+
+    from repro.gpusim.fabric import FabricSpec
+
+    if getattr(args, "fabric", None):
+        try:
+            data = json.loads(args.fabric)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"error: --fabric is not valid JSON: {exc}")
+        if not isinstance(data, dict):
+            raise SystemExit(
+                "error: --fabric must be a JSON object of FabricSpec "
+                "fields (n_devices, topology, device_mems, ...)"
+            )
+        try:
+            return FabricSpec.from_dict(data)
+        except (ValueError, TypeError) as exc:
+            raise SystemExit(f"error: invalid --fabric: {exc}")
+    if args.devices < 1:
+        raise SystemExit(
+            f"error: --devices must be >= 1 (n_devices={args.devices})"
+        )
+    try:
+        return FabricSpec(n_devices=args.devices, topology=args.topology)
+    except ValueError as exc:
+        raise SystemExit(f"error: invalid fabric: {exc}")
 
 
 def _serve_report_rows(res, config) -> list:
@@ -543,7 +694,6 @@ def _print_fleet_result(res, write_to: Optional[str]) -> int:
 
 
 def _cmd_fleet(args) -> int:
-    from repro.gpusim.fabric import FabricSpec
     from repro.serve import ServeConfig
     from repro.serve.fleet import (
         FleetConfig,
@@ -556,6 +706,7 @@ def _cmd_fleet(args) -> int:
         # devices over PCIe, GS replicated, FK sharded fabric-wide.
         config = fleet_quick_config(seed=args.seed)
     else:
+        fabric = _fabric_from_args(args)
         config = FleetConfig(
             serve=ServeConfig(
                 seed=args.seed,
@@ -573,8 +724,7 @@ def _cmd_fleet(args) -> int:
                 max_batch=args.max_batch,
                 max_engines=args.max_engines,
             ),
-            fabric=FabricSpec(n_devices=args.devices,
-                              topology=args.topology),
+            fabric=fabric,
             shard_over=args.shard_over,
         )
     return _print_fleet_result(run_fleet_test(config), args.output)
@@ -585,6 +735,10 @@ def _cmd_serve(args) -> int:
 
     from repro.serve import ServeConfig, quick_config, run_load_test
 
+    if args.devices < 1:
+        raise SystemExit(
+            f"error: --devices must be >= 1 (n_devices={args.devices})"
+        )
     if args.quick:
         config = quick_config(seed=args.seed)
     else:
@@ -606,14 +760,12 @@ def _cmd_serve(args) -> int:
             batch_wait=args.batch_wait,
             max_engines=args.max_engines,
         )
-    if args.devices > 1:
-        from repro.gpusim.fabric import FabricSpec
+    if args.devices > 1 or args.fabric:
         from repro.serve.fleet import FleetConfig, run_fleet_test
 
         fleet_config = FleetConfig(
             serve=config,
-            fabric=FabricSpec(n_devices=args.devices,
-                              topology=args.topology),
+            fabric=_fabric_from_args(args),
             shard_over=args.shard_over,
         )
         return _print_fleet_result(run_fleet_test(fleet_config), args.output)

@@ -24,11 +24,27 @@ determinism tests pin.  What sharding buys is capacity: the per-device edge
 slice (and the inner engine's Static Region over it) only has to fit one
 device, so a graph whose edge array exceeds any single device completes on
 a fabric of N.
+
+Fleet chaos mode adds whole-device fault tolerance on top.  Device faults
+in the :class:`~repro.gpusim.faults.FaultPlan` resolve at **barrier
+granularity**: health is sampled at the top of every superstep
+(:meth:`~repro.gpusim.fabric.Fabric.check_health`), so a device that dies
+mid-superstep is discovered at the next barrier, where the replicated
+vertex state is consistent.  Recovery re-shards the dead device's edge
+range across the survivors (the same byte-range tiling as the initial
+:func:`~repro.graph.shard.shard_graph` cut, so no edge is dropped or
+duplicated), restores the superstep checkpoint
+(:class:`~repro.harness.checkpoint.IterationCheckpoint` with per-shard
+:class:`~repro.harness.checkpoint.ShardCheckpoint` payloads), and charges
+the redistribution H2D plus a survivor re-sync exchange to the sim clock
+under a ``Trecover`` phase.  Values stay bit-identical to a fault-free run
+because the one global ``program.step`` never depends on the shard layout;
+faults cost virtual time, never correctness.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -37,14 +53,25 @@ from repro.engines.base import Engine, IterationRecord, RunResult
 from repro.graph.csr import CSRGraph
 from repro.graph.shard import GraphShard, shard_graph
 from repro.gpusim.device import GPUSpec
+from repro.gpusim.events import fold_device_faults
 from repro.gpusim.fabric import Fabric, FabricSpec
+from repro.gpusim.faults import FaultInjector
 
-__all__ = ["ShardedEngine", "VALUE_DELTA_BYTES"]
+if TYPE_CHECKING:
+    # Imported lazily at runtime: repro.harness's package __init__ pulls in
+    # the engine registry, which imports this module.
+    from repro.harness.checkpoint import IterationCheckpoint
+
+__all__ = ["ShardedEngine", "DeviceLostError", "VALUE_DELTA_BYTES"]
 
 #: Bytes each exchanged vertex delta occupies on the wire: the vertex id
 #: (int32) plus its new value (the 8-byte slot every program's value array
 #: uses at paper scale).
 VALUE_DELTA_BYTES = 12
+
+
+class DeviceLostError(RuntimeError):
+    """Every device of the fabric failed; there is nothing to recover onto."""
 
 
 class ShardedEngine(Engine):
@@ -86,11 +113,6 @@ class ShardedEngine(Engine):
                          max_iterations=max_iterations, data_scale=data_scale,
                          record_events=record_events, fault_plan=fault_plan,
                          seed=seed)
-        if self.fault_plan is not None and not self.fault_plan.is_null:
-            raise ValueError(
-                "ShardedEngine does not support chaos-mode fault plans yet; "
-                "inject faults into the inner engine's single-device runs"
-            )
         if isinstance(fabric, Mapping):
             fabric = FabricSpec.from_dict(fabric)
         if fabric is None:
@@ -127,15 +149,23 @@ class ShardedEngine(Engine):
         from repro.engines import registry
 
         program.validate_graph(graph)
+        injector: Optional[FaultInjector] = None
+        if self.fault_plan is not None and not self.fault_plan.is_null:
+            injector = FaultInjector(self.fault_plan, seed=self.seed)
         fabric = Fabric(
             self.fabric_spec,
             base=self.spec,
             record_spans=self.record_spans,
             charge_scale=1.0 / self.data_scale,
             record_events=self.record_events,
+            faults=injector,
         )
         self.fabric = fabric
         n = fabric.n_devices
+        # Positional view of the live fleet: shards[i] / inners[i] run on
+        # fabric device device_ids[i].  Recovery shrinks all three in
+        # lockstep; the fabric keeps every device's lanes for accounting.
+        device_ids: List[int] = list(range(n))
         shards: List[GraphShard] = shard_graph(graph, n)
         inners: List[Engine] = [
             registry.create(
@@ -144,13 +174,24 @@ class ShardedEngine(Engine):
                 data_scale=self.data_scale,
                 max_iterations=self.max_iterations,
             )
-            for d in range(n)
+            for d in device_ids
         ]
         state = program.init_state(graph)
-        for d, gpu_d in enumerate(fabric.devices):
+        for pos, d in enumerate(device_ids):
+            gpu_d = fabric.devices[d]
             with gpu_d.phase("Tprepare"):
-                inners[d]._prepare(gpu_d, shards[d].graph, program)
+                inners[pos]._prepare(gpu_d, shards[pos].graph, program)
         fabric.sync_all()
+        max_shard_bytes = max(s.local_edge_bytes for s in shards)
+        device_losses = 0
+        # Superstep checkpoints are only maintained when the plan can
+        # actually kill/stall devices — plans without device faults follow
+        # the exact fault-free code path, byte for byte.
+        track_faults = injector is not None and injector.plan.affects_devices
+        checkpoint: Optional["IterationCheckpoint"] = None
+        if track_faults:
+            checkpoint = self._shard_checkpoint(graph, program, state,
+                                                shards, device_ids)
 
         cap = self.max_iterations if self.max_iterations is not None \
             else program.max_iterations
@@ -158,8 +199,21 @@ class ShardedEngine(Engine):
         records: List[IterationRecord] = []
         while state.active.any() and state.iteration < cap \
                 and not program.done(state):
+            if track_faults:
+                dead = self._handle_device_faults(fabric, injector)
+                if dead:
+                    device_ids, shards, inners = self._recover(
+                        registry, fabric, graph, program, state,
+                        device_ids, dead, checkpoint,
+                    )
+                    device_losses += len(dead)
+                    max_shard_bytes = max(
+                        max_shard_bytes,
+                        max(s.local_edge_bytes for s in shards),
+                    )
             if self.iteration_hook is not None:
-                self.iteration_hook(self, fabric.devices[0], graph, state)
+                self.iteration_hook(self, fabric.devices[device_ids[0]],
+                                    graph, state)
             t0 = fabric.clock.now
             h2d0 = fabric.events.metrics.bytes_h2d
             n_active = state.n_active
@@ -170,18 +224,22 @@ class ShardedEngine(Engine):
             # is needed, and a private state object per device keeps each
             # FrontierCache coherent for its own (shard, mask) pair.
             local_states = [ProgramState(active=state.active, iteration=it)
-                            for _ in range(n)]
-            for d, gpu_d in enumerate(fabric.devices):
+                            for _ in device_ids]
+            for pos, d in enumerate(device_ids):
+                gpu_d = fabric.devices[d]
                 with gpu_d.iteration(it):
-                    inners[d]._iteration(gpu_d, shards[d].graph, program,
-                                         local_states[d])
+                    inners[pos]._iteration(gpu_d, shards[pos].graph, program,
+                                           local_states[pos])
             # Superstep barrier: everyone's local work lands before deltas
             # move — the bulk-synchronous contract that makes one global
             # step equivalent to the single-device run.
             fabric.sync_all()
-            self._exchange(fabric, shards, local_states, it)
+            self._exchange(fabric, shards, local_states, device_ids, it)
             program.step(graph, state)
             fabric.sync_all()
+            if track_faults:
+                checkpoint = self._shard_checkpoint(graph, program, state,
+                                                    shards, device_ids)
             records.append(IterationRecord(
                 iteration=it,
                 n_active_vertices=n_active,
@@ -191,7 +249,8 @@ class ShardedEngine(Engine):
                 t_end=fabric.clock.now,
             ))
         # Results live replicated on every device; one copy-back suffices.
-        fabric.devices[0].d2h(self._result_bytes(graph), label="results")
+        fabric.devices[device_ids[0]].d2h(self._result_bytes(graph),
+                                          label="results")
         fabric.sync_all()
 
         result = RunResult(
@@ -212,7 +271,7 @@ class ShardedEngine(Engine):
         result.extra["n_devices"] = float(n)
         result.extra["exchange_bytes"] = float(fabric.exchange_bytes)
         result.extra["max_shard_edge_bytes"] = float(
-            max(s.local_edge_bytes for s in shards) / self.data_scale
+            max_shard_bytes / self.data_scale
         )
         horizon = fabric.clock.now
         for d in range(n):
@@ -223,26 +282,175 @@ class ShardedEngine(Engine):
             result.extra[f"device{d}_exchange_bytes"] = float(
                 fabric.exchange_bytes_of(d)
             )
+        # Fault telemetry: only *observed* faults are reported, so a plan
+        # whose device loss lands after the final superstep (or a run with
+        # no plan at all) produces the exact fault-free extras — pinned by
+        # the digest-stability regression tests.
+        if injector is not None:
+            for key in sorted(injector.counts):
+                if injector.counts[key]:
+                    result.extra[f"fault_{key}"] = float(injector.counts[key])
+        if device_losses:
+            result.extra["device_losses"] = float(device_losses)
+        if self.record_events:
+            per_device = fold_device_faults(fabric.events.events)
+            for dev in sorted(per_device,
+                              key=lambda d: -1 if d is None else d):
+                prefix = "" if dev is None else f"device{dev}_"
+                for key in sorted(per_device[dev]):
+                    result.extra[prefix + key] = float(per_device[dev][key])
         return result
+
+    # ------------------------------------------------------- fault handling
+    def _shard_checkpoint(self, graph: CSRGraph, program: VertexProgram,
+                          state: ProgramState, shards: List[GraphShard],
+                          device_ids: List[int]) -> "IterationCheckpoint":
+        """Snapshot the superstep barrier state plus per-shard layout.
+
+        Taken right after every ``program.step`` (and once before the first
+        superstep), so when a death is detected at the *next* barrier the
+        checkpoint is exactly the consistent state every survivor already
+        replicates — recovery restores placement and charges traffic, it
+        never needs to roll numeric state back.
+        """
+        from repro.harness.checkpoint import (IterationCheckpoint,
+                                              ShardCheckpoint)
+
+        return IterationCheckpoint(
+            engine=self.name,
+            algorithm=program.name,
+            graph_name=graph.name,
+            iteration=state.iteration,
+            values=np.array(program.values(state), copy=True),
+            active=np.array(state.active, copy=True),
+            blob=b"",
+            shards=tuple(
+                ShardCheckpoint(
+                    device=d,
+                    e_lo=shards[pos].e_lo,
+                    e_hi=shards[pos].e_hi,
+                    restore_bytes=graph.vertex_state_bytes,
+                )
+                for pos, d in enumerate(device_ids)
+            ),
+        )
+
+    def _handle_device_faults(self, fabric: Fabric,
+                              injector: FaultInjector) -> List[int]:
+        """Sample device health at the barrier; charge stalls, report deaths.
+
+        A transient stall occupies the device's compute lane for the
+        remainder of the stall window (kind ``device-stall``, counted as
+        retry/wasted time) — the next barrier simply waits it out.  Newly
+        ``down`` devices are returned for :meth:`_recover`.
+        """
+        dead: List[int] = []
+        for d, new in fabric.check_health():
+            if new == "down":
+                dead.append(d)
+            elif new == "stalled":
+                now = fabric.clock.now
+                dur = injector.stall_end(d, now) - now
+                if dur > 0:
+                    fabric.devices[d].gpu.submit(
+                        dur, f"dev{d}-stall", kind="device-stall",
+                        counters={"retry_seconds": dur},
+                    )
+        return dead
+
+    def _recover(self, registry, fabric: Fabric, graph: CSRGraph,
+                 program: VertexProgram, state: ProgramState,
+                 device_ids: List[int], dead: List[int],
+                 checkpoint: "IterationCheckpoint",
+                 ) -> Tuple[List[int], List[GraphShard], List[Engine]]:
+        """Re-shard the dead devices' edge ranges across the survivors.
+
+        All recovery work is attributed to a ``Trecover`` phase: a typed
+        ``reshard`` marker per lost device (its orphaned edge range), a
+        fresh inner-engine ``_prepare`` per survivor (the redistribution
+        H2D of the re-tiled shards), a charged checkpoint-restore H2D per
+        survivor, and one survivors-only exchange round re-syncing the
+        active frontier's deltas.  Numeric state needs no rollback — the
+        barrier state *is* the checkpoint — so values stay bit-identical
+        to a fault-free run.
+        """
+        survivors = [d for d in device_ids if d not in dead]
+        if not survivors:
+            raise DeviceLostError(
+                f"all {len(device_ids)} device(s) failed at "
+                f"iteration {state.iteration}; nothing to recover onto"
+            )
+        old_range = {s.device: (s.e_lo, s.e_hi) for s in checkpoint.shards}
+        with fabric.phase("Trecover", iteration=state.iteration):
+            now = fabric.clock.now
+            for d in sorted(dead):
+                e_lo, e_hi = old_range.get(d, (0, 0))
+                fabric.events.marker(
+                    "reshard", f"dev{d}", now, device=d,
+                    extra=(("device", float(d)),
+                           ("e_lo", float(e_lo)),
+                           ("e_hi", float(e_hi)),
+                           ("survivors", float(len(survivors)))),
+                )
+            new_shards = shard_graph(graph, len(survivors))
+            new_inners: List[Engine] = []
+            for pos, d in enumerate(survivors):
+                gpu_d = fabric.devices[d]
+                inner = registry.create(
+                    self.inner,
+                    spec=fabric.topology.gpu_spec(d),
+                    data_scale=self.data_scale,
+                    max_iterations=self.max_iterations,
+                )
+                # Redistribution H2D: the survivor drops its old shard's
+                # placement and re-stages the (larger) re-tiled shard
+                # exactly like the initial placement did.
+                gpu_d.memory.release_all()
+                inner._prepare(gpu_d, new_shards[pos].graph, program)
+                restore = graph.vertex_state_bytes
+                gpu_d.h2d(restore, label="ckpt-restore")
+                fabric.events.marker(
+                    "ckpt-restore", f"dev{d}", fabric.clock.now, device=d,
+                    extra=(("bytes", float(restore)),
+                           ("iteration", float(checkpoint.iteration))),
+                )
+                new_inners.append(inner)
+            # The barrier state is the checkpoint (copyto documents the
+            # restore; it is a bit-identical no-op by construction).
+            np.copyto(state.active, checkpoint.active)
+            # Survivors re-sync the in-flight frontier deltas among
+            # themselves so every replica agrees before the next superstep.
+            payload = int(state.active.sum()) * VALUE_DELTA_BYTES
+            if len(survivors) > 1 and payload > 0:
+                per_pair = {
+                    (a, b): payload
+                    for a in survivors for b in survivors if a != b
+                }
+                fabric.all_exchange(per_pair, label="recovery-exchange")
+        fabric.sync_all()
+        return survivors, new_shards, new_inners
 
     # ------------------------------------------------------------- exchange
     def _exchange(self, fabric: Fabric, shards: List[GraphShard],
-                  local_states: List[ProgramState], iteration: int) -> None:
-        """Broadcast each shard's value/frontier deltas to every peer.
+                  local_states: List[ProgramState], device_ids: List[int],
+                  iteration: int) -> None:
+        """Broadcast each shard's value/frontier deltas to every live peer.
 
         Vertex state is replicated, so after local compute each device owns
         the freshest values for exactly the destinations its local edges
         pushed to this superstep; those deltas (vertex id + value, deduped
         per destination) go to all peers over the inter-device links.  The
         frontier walk is the one the inner engine already memoized on this
-        ``(shard, mask)`` pair — no second mask walk.
+        ``(shard, mask)`` pair — no second mask walk.  Only ``device_ids``
+        (the surviving fleet) participates — dead devices neither send nor
+        receive.
         """
-        n = fabric.n_devices
-        if n == 1:
+        if len(device_ids) == 1:
             return
         per_pair: Dict[Tuple[int, int], int] = {}
-        for d, shard in enumerate(shards):
-            exp = local_states[d].frontier(shard.graph)
+        for pos, d in enumerate(device_ids):
+            shard = shards[pos]
+            exp = local_states[pos].frontier(shard.graph)
             if exp.n_edges == 0:
                 continue
             n_updated = int(np.unique(shard.graph.indices[exp.positions]).size)
@@ -250,7 +458,7 @@ class ShardedEngine(Engine):
             # scaled bytes, exactly like every h2d(nbytes) call; the fabric
             # charges it at paper scale.
             payload = n_updated * VALUE_DELTA_BYTES
-            for peer in range(n):
+            for peer in device_ids:
                 if peer != d:
                     per_pair[(d, peer)] = payload
         if not per_pair:

@@ -40,6 +40,7 @@ from repro.gpusim.events import (
     IdleBreakdown,
     LaneStats,
     SimEvent,
+    fold_device_faults,
     fold_device_metrics,
     fold_lane_stats,
     fold_metrics,
@@ -58,14 +59,16 @@ from repro.gpusim.fabric import (
     LinkSpec,
     fold_exchange_bytes,
 )
-from repro.gpusim.events import FAULT_KINDS
+from repro.gpusim.events import DEVICE_FAULT_KINDS, FAULT_KINDS
 from repro.gpusim.faults import (
     CapacitySqueeze,
+    DeviceFault,
     FaultInjector,
     FaultPlan,
     KernelFaultError,
     LinkDegradation,
     TransferFaultError,
+    standard_fleet_plan,
     standard_plan,
 )
 from repro.gpusim.metrics import Metrics
@@ -90,6 +93,7 @@ __all__ = [
     "fold_phase_seconds",
     "fold_lane_stats",
     "fold_device_metrics",
+    "fold_device_faults",
     "idle_breakdown",
     "lane_key",
     "qualified_lane",
@@ -101,13 +105,16 @@ __all__ = [
     "Fabric",
     "fold_exchange_bytes",
     "FAULT_KINDS",
+    "DEVICE_FAULT_KINDS",
     "FaultPlan",
     "FaultInjector",
+    "DeviceFault",
     "LinkDegradation",
     "CapacitySqueeze",
     "TransferFaultError",
     "KernelFaultError",
     "standard_plan",
+    "standard_fleet_plan",
     "Metrics",
     "DeviceMemory",
     "Allocation",

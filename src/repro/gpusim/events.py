@@ -45,6 +45,7 @@ __all__ = [
     "IdleBreakdown",
     "COUNTER_FIELDS",
     "FAULT_KINDS",
+    "DEVICE_FAULT_KINDS",
     "REQUEST_KINDS",
     "lane_key",
     "qualified_lane",
@@ -53,6 +54,7 @@ __all__ = [
     "fold_phase_seconds",
     "fold_lane_stats",
     "fold_device_metrics",
+    "fold_device_faults",
     "idle_breakdown",
     "validate_log",
 ]
@@ -83,6 +85,19 @@ COUNTER_FIELDS: Tuple[str, ...] = (
 #: them separately so faults stand out in a Perfetto timeline.
 FAULT_KINDS = frozenset({
     "h2d-fault", "d2h-fault", "direct-fault", "backoff", "kernel-abort",
+    "device-stall",
+})
+
+#: Marker kinds narrating whole-device faults and the recovery around them
+#: (fleet chaos mode): health transitions (``device-down`` / ``device-up``),
+#: peer-link degradation windows, failed dispatches on a dead device, and
+#: the sharded engine's recovery steps (``reshard`` + ``ckpt-restore``).
+#: All are instant, lane-less events; :func:`fold_device_faults` counts
+#: them per device and the trace export renders them in each device's
+#: Chrome-trace process.
+DEVICE_FAULT_KINDS = frozenset({
+    "device-down", "device-up", "peer-degrade", "device-fail",
+    "reshard", "ckpt-restore",
 })
 
 #: Request-lifecycle marker kinds emitted by the serving layer
@@ -306,12 +321,18 @@ class EventLog:
 
     def marker(self, kind: str, label: str, t: float,
                counters: Optional[Mapping[str, int]] = None,
-               extra: Tuple[Tuple[str, float], ...] = ()) -> SimEvent:
-        """Emit an instant (zero-width, lane-less) bookkeeping event."""
+               extra: Tuple[Tuple[str, float], ...] = (),
+               device: Optional[int] = None) -> SimEvent:
+        """Emit an instant (zero-width, lane-less) bookkeeping event.
+
+        ``device`` attributes the marker to one device of a fabric log
+        (it renders in that device's Chrome-trace process); the default
+        ``None`` keeps single-device logs byte-identical.
+        """
         return self.emit(SimEvent(
             lane="", kind=kind, label=label, start=t, end=t,
             phase=self.current_phase, iteration=self.current_iteration,
-            extra=extra, **dict(counters or {}),
+            device=device, extra=extra, **dict(counters or {}),
         ))
 
     # -------------------------------------------------------------- views
@@ -438,6 +459,27 @@ def fold_device_metrics(events: Iterable[SimEvent]) -> Dict[Optional[int], Metri
         if metrics is None:
             metrics = out[e.device] = Metrics()
         _apply(metrics, e)
+    return out
+
+
+def fold_device_faults(
+    events: Iterable[SimEvent],
+) -> Dict[Optional[int], Dict[str, int]]:
+    """Per-device fault/recovery counts from a recorded log.
+
+    Counts every :data:`FAULT_KINDS` / :data:`DEVICE_FAULT_KINDS` event
+    under its device (``None`` for device-less events), keyed
+    ``fault_<kind>`` to match the ``fault_*`` naming of
+    ``RunResult.extra``.  A fault-free log folds to ``{}``, so asserting
+    byte-identical single-device behaviour stays a one-liner.
+    """
+    out: Dict[Optional[int], Dict[str, int]] = {}
+    for e in events:
+        if e.kind not in FAULT_KINDS and e.kind not in DEVICE_FAULT_KINDS:
+            continue
+        bucket = out.setdefault(e.device, {})
+        key = "fault_" + e.kind.replace("-", "_")
+        bucket[key] = bucket.get(key, 0) + 1
     return out
 
 

@@ -316,6 +316,12 @@ class Fabric:
         self._exchange_by_device: Dict[int, int] = {
             d.device_id: 0 for d in self.topology.devices
         }
+        #: Per-device health (``"up"`` / ``"stalled"`` / ``"down"``),
+        #: advanced by :meth:`check_health` against the fault plan's
+        #: device faults.  Without an injector every device stays up.
+        self.health: Dict[int, str] = {
+            d.device_id: "up" for d in self.topology.devices
+        }
 
     # -------------------------------------------------------------- queries
     @property
@@ -332,6 +338,50 @@ class Fabric:
     @property
     def elapsed(self) -> float:
         return self.clock.now
+
+    def alive(self) -> List[int]:
+        """Device ids not permanently down, in id order."""
+        return [d for d in sorted(self.health) if self.health[d] != "down"]
+
+    # --------------------------------------------------------------- health
+    def check_health(self, t: Optional[float] = None) -> List[Tuple[int, str]]:
+        """Advance per-device health to time ``t``; return the transitions.
+
+        A pure plan lookup through the injector (device faults draw no
+        randomness).  Each transition emits a typed marker carrying the
+        device id — ``device-down`` on entering ``stalled`` or ``down``,
+        ``device-up`` on recovering from a stall — so failures render in
+        each device's Chrome-trace process.  Health is sampled where the
+        controlling engine calls this (the sharded engine's superstep
+        barrier), so fault times resolve at barrier granularity.
+        """
+        if self.faults is None or not self.faults.plan.device_faults:
+            return []
+        now = self.clock.now if t is None else t
+        transitions: List[Tuple[int, str]] = []
+        for d in sorted(self.health):
+            old = self.health[d]
+            if old == "down":
+                continue  # permanent: no way back up
+            new = self.faults.device_state(d, now)
+            if new == old:
+                continue
+            self.health[d] = new
+            if new == "down":
+                self.faults.note_device_down()
+                self.events.marker("device-down", f"dev{d}", now, device=d,
+                                   extra=(("device", float(d)),))
+            elif new == "stalled":
+                self.faults.note_device_stall()
+                self.events.marker("device-down", f"dev{d}:stall", now,
+                                   device=d,
+                                   extra=(("device", float(d)),
+                                          ("stall", 1.0)))
+            else:
+                self.events.marker("device-up", f"dev{d}", now, device=d,
+                                   extra=(("device", float(d)),))
+            transitions.append((d, new))
+        return transitions
 
     # -------------------------------------------------------------- context
     @contextmanager
@@ -365,6 +415,18 @@ class Fabric:
             return self.links[src].submit(0.0, label, after=after)
         charged = int(round(nbytes * self.charge_scale))
         dur = link.transfer_seconds(charged)
+        if self.faults is not None and self.faults.plan.peer_degradations:
+            t0 = max(self.clock.now, self.links[src].busy_until, after)
+            factor, fresh = self.faults.peer_link_state(t0)
+            for i, w in fresh:
+                self.events.marker(
+                    "peer-degrade", f"window{i}", t0,
+                    extra=(("factor", float(w.factor)),
+                           ("until", float(w.end))))
+            if factor < 1.0:
+                # Only the streaming part slows; latency is unaffected,
+                # like the host-link degradation in Lane.submit_transfer.
+                dur = link.latency + (charged / link.bandwidth) / factor
         self.exchange_bytes += charged
         self._exchange_by_device[src] += charged
         return self.links[src].submit(

@@ -37,11 +37,13 @@ import numpy as np
 __all__ = [
     "LinkDegradation",
     "CapacitySqueeze",
+    "DeviceFault",
     "FaultPlan",
     "FaultInjector",
     "TransferFaultError",
     "KernelFaultError",
     "standard_plan",
+    "standard_fleet_plan",
 ]
 
 
@@ -75,6 +77,43 @@ class LinkDegradation:
     def contains(self, t: float) -> bool:
         """Whether virtual time ``t`` falls inside the window."""
         return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class DeviceFault:
+    """A whole-device fault: permanent loss or a transient stall window.
+
+    ``end is None`` means the device fails *permanently* at virtual time
+    ``start`` (it never comes back — the fleet layers must recover around
+    it).  A finite ``end`` is a transient stall: the device is unavailable
+    while ``start <= t < end`` and healthy again afterwards (clock
+    throttling, a driver hiccup, an ECC scrub pause).
+    """
+
+    device: int
+    start: float
+    end: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.device < 0:
+            raise ValueError("device must be non-negative")
+        if self.start < 0:
+            raise ValueError("fault start must be non-negative")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError(f"bad stall window [{self.start}, {self.end})")
+
+    @property
+    def permanent(self) -> bool:
+        """Whether this is a device loss (no recovery) rather than a stall."""
+        return self.end is None
+
+    def state_at(self, t: float) -> str:
+        """This fault's contribution to the device state at time ``t``."""
+        if t < self.start:
+            return "up"
+        if self.end is None:
+            return "down"
+        return "stalled" if t < self.end else "up"
 
 
 @dataclass(frozen=True)
@@ -146,6 +185,12 @@ class FaultPlan:
     backoff_base: float = 50.0e-6
     #: Multiplier between consecutive backoff delays.
     backoff_factor: float = 2.0
+    #: Whole-device faults: permanent losses and transient stall windows.
+    device_faults: Tuple[DeviceFault, ...] = ()
+    #: Bandwidth-cut windows on the *peer* (device↔device) links — the
+    #: NVLink/PCIe-bounce analogue of ``degradations`` (which cover the
+    #: host link).
+    peer_degradations: Tuple[LinkDegradation, ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("transfer_fail_rate", "transfer_corrupt_rate",
@@ -171,6 +216,12 @@ class FaultPlan:
             for s in self.squeezes))
         object.__setattr__(self, "alloc_failures",
                            tuple(str(n) for n in self.alloc_failures))
+        object.__setattr__(self, "device_faults", tuple(
+            f if isinstance(f, DeviceFault) else DeviceFault(**f)
+            for f in self.device_faults))
+        object.__setattr__(self, "peer_degradations", tuple(
+            d if isinstance(d, LinkDegradation) else LinkDegradation(**d)
+            for d in self.peer_degradations))
 
     # --------------------------------------------------------------- views
     @property
@@ -182,7 +233,9 @@ class FaultPlan:
                 and not self.alloc_failures
                 and not self.squeezes
                 and self.kernel_abort_rate == 0.0
-                and self.kernel_slowdown_rate == 0.0)
+                and self.kernel_slowdown_rate == 0.0
+                and not self.device_faults
+                and not self.peer_degradations)
 
     @property
     def affects_transfers(self) -> bool:
@@ -193,6 +246,13 @@ class FaultPlan:
     def affects_kernels(self) -> bool:
         """Whether kernel launches need a random draw."""
         return self.kernel_abort_rate > 0.0 or self.kernel_slowdown_rate > 0.0
+
+    @property
+    def affects_devices(self) -> bool:
+        """Whether whole devices can fail or stall (pure plan lookups —
+        device faults draw no randomness, so plans without them behave
+        bit-identically to the pre-device-fault schema)."""
+        return bool(self.device_faults)
 
     def backoff_seconds(self, attempt: int) -> float:
         """Deterministic exponential backoff before retry ``attempt`` (0-based)."""
@@ -211,6 +271,19 @@ class FaultPlan:
         out["degradations"] = [asdict(d) for d in self.degradations]
         out["squeezes"] = [asdict(s) for s in self.squeezes]
         out["alloc_failures"] = list(self.alloc_failures)
+        # The device-scoped fields postdate the original plan schema: omit
+        # them when empty so every pre-existing plan keeps its fingerprint —
+        # and with it the injector's RNG stream and the chaos digests.
+        if self.device_faults:
+            out["device_faults"] = [asdict(f) for f in self.device_faults]
+        else:
+            del out["device_faults"]
+        if self.peer_degradations:
+            out["peer_degradations"] = [
+                asdict(d) for d in self.peer_degradations
+            ]
+        else:
+            del out["peer_degradations"]
         return out
 
     @classmethod
@@ -255,6 +328,39 @@ def standard_plan() -> FaultPlan:
     )
 
 
+def standard_fleet_plan(seed: int = 0, n_devices: int = 4, *,
+                        down_at: float = 2.0,
+                        degrade_start: float = 4.0,
+                        degrade_end: float = 8.0,
+                        degrade_factor: float = 0.25) -> FaultPlan:
+    """The standard fleet chaos plan: one device loss + one peer-link window.
+
+    One device — picked deterministically from the seed — fails permanently
+    at ``down_at``, and one peer-link degradation window cuts
+    device↔device bandwidth to ``degrade_factor`` over
+    ``[degrade_start, degrade_end)``.  The default times sit on the serve
+    clock (seconds-scale load tests); engine-level tests pass an explicit
+    ``down_at`` inside their own (much shorter) sim horizon.
+
+    Device faults draw no randomness, so runs that never consult the
+    device state (single-device engines) are bit-identical under this plan
+    to a fault-free run.
+    """
+    if n_devices < 2:
+        raise ValueError(
+            "standard_fleet_plan needs n_devices >= 2 (a 1-device fleet "
+            "cannot survive losing its only device)"
+        )
+    victim = int(seed) % n_devices
+    return FaultPlan(
+        device_faults=(DeviceFault(device=victim, start=down_at),),
+        peer_degradations=(
+            LinkDegradation(start=degrade_start, end=degrade_end,
+                            factor=degrade_factor),
+        ),
+    )
+
+
 class FaultInjector:
     """The per-run fault oracle: seeded, stateful, picklable.
 
@@ -279,9 +385,12 @@ class FaultInjector:
             "transfer_fail": 0, "transfer_corrupt": 0,
             "kernel_abort": 0, "kernel_slow": 0,
             "alloc_fail": 0, "degradation_windows": 0,
+            "device_down": 0, "device_stall": 0,
+            "peer_degradation_windows": 0,
         }
         self._alloc_failed: Dict[str, int] = {}
         self._noted_windows: set = set()
+        self._noted_peer_windows: set = set()
 
     # ----------------------------------------------------------- transfers
     def transfer_outcome(self) -> str:
@@ -320,6 +429,63 @@ class FaultInjector:
                     self.counts["degradation_windows"] += 1
                     fresh.append((i, w))
         return factor, fresh
+
+    def peer_link_state(
+        self, t: float
+    ) -> Tuple[float, List[Tuple[int, LinkDegradation]]]:
+        """:meth:`link_state` for the peer (device↔device) links.
+
+        Folds over ``plan.peer_degradations`` with its own noted-window
+        set, so host-link and peer-link windows are marked and counted
+        independently.
+        """
+        factor = 1.0
+        fresh: List[Tuple[int, LinkDegradation]] = []
+        for i, w in enumerate(self.plan.peer_degradations):
+            if w.contains(t):
+                factor = min(factor, w.factor)
+                if i not in self._noted_peer_windows:
+                    self._noted_peer_windows.add(i)
+                    self.counts["peer_degradation_windows"] += 1
+                    fresh.append((i, w))
+        return factor, fresh
+
+    # ------------------------------------------------------------- devices
+    # Device faults are *pure plan lookups* — no RNG draws — so a plan
+    # without them leaves every draw-consuming stream untouched and the run
+    # bit-identical to the pre-device-fault schema.
+    def device_down_at(self, device: int) -> Optional[float]:
+        """When ``device`` fails permanently, or ``None`` if it never does."""
+        times = [f.start for f in self.plan.device_faults
+                 if f.device == device and f.permanent]
+        return min(times) if times else None
+
+    def device_state(self, device: int, t: float) -> str:
+        """``"up"`` / ``"stalled"`` / ``"down"`` for ``device`` at time ``t``."""
+        state = "up"
+        for f in self.plan.device_faults:
+            if f.device != device:
+                continue
+            s = f.state_at(t)
+            if s == "down":
+                return "down"
+            if s == "stalled":
+                state = "stalled"
+        return state
+
+    def stall_end(self, device: int, t: float) -> float:
+        """When every stall window covering ``(device, t)`` has ended."""
+        return max([f.end for f in self.plan.device_faults
+                    if f.device == device and not f.permanent
+                    and f.start <= t < f.end], default=t)
+
+    def note_device_down(self) -> None:
+        """Count one observed permanent device loss."""
+        self.counts["device_down"] += 1
+
+    def note_device_stall(self) -> None:
+        """Count one observed transient device stall."""
+        self.counts["device_stall"] += 1
 
     # ------------------------------------------------------------- kernels
     def kernel_outcome(self) -> Tuple[str, float]:

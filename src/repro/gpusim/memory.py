@@ -155,6 +155,17 @@ class DeviceMemory:
         alloc.nbytes = nbytes
         self._used += delta
 
+    def release_all(self) -> None:
+        """Free every live allocation (a device dropping its whole layout).
+
+        The fleet recovery path uses this when a survivor abandons its old
+        shard's placement to re-stage a larger re-tiled shard — equivalent
+        to freeing each allocation individually, just without the caller
+        having to hold the handles.
+        """
+        for a in list(self._allocs.values()):
+            self.free(a)
+
     def live_allocations(self) -> Dict[str, int]:
         """Snapshot of live allocation sizes (for tests and reports)."""
         return {name: a.nbytes for name, a in self._allocs.items()}

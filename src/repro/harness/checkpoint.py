@@ -23,14 +23,34 @@ from __future__ import annotations
 import os
 import pickle
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["IterationCheckpoint", "CheckpointStore", "CheckpointWriter"]
+__all__ = ["IterationCheckpoint", "ShardCheckpoint", "CheckpointStore",
+           "CheckpointWriter"]
 
 #: Bumped when the on-disk layout changes; mismatched files load as None.
 CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ShardCheckpoint:
+    """One device's slice of a sharded superstep snapshot.
+
+    The sharded engine keeps one of these per device alongside the global
+    :class:`IterationCheckpoint`: the shard's global edge range (so a
+    recovery can re-tile the dead device's range across survivors) and the
+    scaled bytes re-placing this shard's replicated vertex state costs on
+    restore.  ``payload`` is an opaque per-shard blob for engine-specific
+    restore data.
+    """
+
+    device: int
+    e_lo: int
+    e_hi: int
+    restore_bytes: int
+    payload: bytes = b""
 
 
 @dataclass(frozen=True)
@@ -41,7 +61,10 @@ class IterationCheckpoint:
     inspectable form (tests, debugging, partial-result salvage); ``blob``
     is the authoritative pickle produced by
     :meth:`~repro.engines.base.Engine.snapshot_state`, from which the run
-    is actually resumed.
+    is actually resumed.  ``shards`` (sharded runs only) carries the
+    per-device :class:`ShardCheckpoint` payloads the fleet recovery path
+    restores from; the default keeps single-device checkpoints — and every
+    v1 file already on disk — loading unchanged.
     """
 
     engine: str
@@ -51,6 +74,7 @@ class IterationCheckpoint:
     values: np.ndarray
     active: np.ndarray
     blob: bytes
+    shards: Tuple[ShardCheckpoint, ...] = ()
 
 
 class CheckpointStore:

@@ -79,6 +79,7 @@ from repro.serve.simulator import (
 )
 from repro.serve.slo import (
     SLO_SCHEMA,
+    SLO_SCHEMA_DEGRADED,
     SLO_SCHEMA_FLEET,
     fold_slo,
     report_digest,
@@ -112,6 +113,7 @@ __all__ = [
     # SLO
     "SLO_SCHEMA",
     "SLO_SCHEMA_FLEET",
+    "SLO_SCHEMA_DEGRADED",
     "fold_slo",
     "report_digest",
     # load tests

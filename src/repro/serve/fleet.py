@@ -30,13 +30,15 @@ pinned single-device serve digest stays valid.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import math
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.engines import registry
 from repro.engines.base import RunResult
 from repro.gpusim.events import EventLog, SimEvent
 from repro.gpusim.fabric import FabricSpec
+from repro.gpusim.faults import FaultInjector, FaultPlan
 from repro.serve.pool import EnginePool, PoolStats
 from repro.serve.queue import AdmissionQueue, TenantAccount
 from repro.serve.request import (
@@ -78,17 +80,30 @@ class FleetConfig:
     #: bytes exceed ``shard_over`` × the largest device capacity.
     #: ``None`` disables sharding (replicate-only routing).
     shard_over: Optional[float] = None
+    #: Chaos mode: a seeded fault plan whose device faults (times on the
+    #: *serve* clock) the fleet loop replays — failed dispatches, router
+    #: failover, degraded sharded fabrics.  ``None`` (the default) keeps
+    #: every fault-free code path — and every pinned digest — byte-exact.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.shard_over is not None and self.shard_over <= 0:
             raise ValueError("shard_over must be positive (or None)")
+        if isinstance(self.fault_plan, Mapping):
+            object.__setattr__(self, "fault_plan",
+                               FaultPlan.from_dict(self.fault_plan))
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "serve": self.serve.as_dict(),
             "fabric": self.fabric.to_dict(),
             "shard_over": self.shard_over,
         }
+        # Key omitted when absent so fault-free configs serialize (and
+        # digest) exactly as before the chaos fields existed.
+        if self.fault_plan is not None:
+            out["fault_plan"] = self.fault_plan.to_dict()
+        return out
 
 
 @dataclass(frozen=True)
@@ -118,14 +133,57 @@ class Router:
     3. **least-loaded** — the free device with the fewest pooled engines
        (lowest id on ties), which spreads replicas of hot graphs across
        the fleet.
+
+    The router also keeps per-device **circuit-breaker** state for chaos
+    runs: ``breaker_threshold`` consecutive failed dispatches open a
+    device's breaker (:meth:`note_failure`), after which :meth:`usable`
+    reports it unroutable until ``probe_interval`` sim-seconds have passed
+    — the half-open probe.  A completed dispatch (:meth:`note_success`)
+    closes the breaker and clears the failure count.  All state advances
+    on the deterministic serve clock, never wall time.
     """
 
     def __init__(self, spec: FabricSpec,
-                 shard_over: Optional[float] = None) -> None:
+                 shard_over: Optional[float] = None,
+                 breaker_threshold: int = 2,
+                 probe_interval: float = 5.0) -> None:
         self.spec = spec
         if shard_over is not None and shard_over <= 0:
             raise ValueError("shard_over must be positive (or None)")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if probe_interval <= 0:
+            raise ValueError("probe_interval must be positive")
         self.shard_over = shard_over
+        self.breaker_threshold = breaker_threshold
+        self.probe_interval = probe_interval
+        self._failures: Dict[int, int] = {}
+        self._open_at: Dict[int, float] = {}
+
+    # ------------------------------------------------------ circuit breaker
+    def note_failure(self, device: int, t: float) -> bool:
+        """Record a failed dispatch at sim time ``t``; True when this trip
+        opens the device's breaker."""
+        self._failures[device] = self._failures.get(device, 0) + 1
+        if device not in self._open_at \
+                and self._failures[device] >= self.breaker_threshold:
+            self._open_at[device] = t
+            return True
+        return False
+
+    def note_success(self, device: int) -> bool:
+        """Record a completed dispatch; True when it closes an open breaker
+        (a half-open probe that succeeded)."""
+        self._failures.pop(device, None)
+        return self._open_at.pop(device, None) is not None
+
+    def usable(self, device: int, t: float) -> bool:
+        """Whether the breaker allows routing to ``device`` at time ``t``
+        (closed, or open long enough that a half-open probe is due)."""
+        opened = self._open_at.get(device)
+        if opened is None:
+            return True
+        return t >= opened + self.probe_interval
 
     def capacity(self, default_memory_bytes: int) -> int:
         """The largest single-device capacity in the fabric (scaled bytes)."""
@@ -178,22 +236,27 @@ class FleetResult:
 
     def trace_payload(self) -> Dict[str, Any]:
         """Canonical JSON-able form of trace + outcomes + report."""
+        responses = []
+        for resp in self.responses:
+            entry = {
+                "request_id": resp.request.request_id,
+                "status": resp.status.value,
+                "shed_reason": resp.shed_reason,
+                "start_time": resp.start_time,
+                "finish_time": resp.finish_time,
+                "batch_size": resp.batch_size,
+                "warm": resp.warm,
+                "device": resp.device,
+            }
+            # Gated on the plan (not on the count) so chaos payloads carry
+            # the key uniformly while fault-free payloads stay byte-exact.
+            if self.config.fault_plan is not None:
+                entry["retries"] = resp.retries
+            responses.append(entry)
         return {
             "config": self.config.as_dict(),
             "requests": [asdict(r) for r in self.requests],
-            "responses": [
-                {
-                    "request_id": resp.request.request_id,
-                    "status": resp.status.value,
-                    "shed_reason": resp.shed_reason,
-                    "start_time": resp.start_time,
-                    "finish_time": resp.finish_time,
-                    "batch_size": resp.batch_size,
-                    "warm": resp.warm,
-                    "device": resp.device,
-                }
-                for resp in self.responses
-            ],
+            "responses": responses,
             "report": self.report,
         }
 
@@ -240,6 +303,25 @@ def run_fleet_test(config: FleetConfig,
     router = Router(config.fabric, config.shard_over)
     responses: Dict[int, Response] = {}
     run_results: List[RunResult] = []
+    plan = config.fault_plan
+    injector: Optional[FaultInjector] = None
+    if plan is not None and not plan.is_null:
+        injector = FaultInjector(plan, seed=serve.seed)
+        # Narrate the plan's device timeline up front: the outage windows
+        # are plan facts (serve-clock times), not discoveries, and their
+        # markers are what gates the report's ``degraded`` section.
+        for f in sorted(plan.device_faults,
+                        key=lambda f: (f.start, f.device)):
+            log.marker("device-down", f"dev{f.device}", f.start,
+                       device=f.device, extra=(("device", float(f.device)),))
+            if f.end is not None:
+                log.marker("device-up", f"dev{f.device}", f.end,
+                           device=f.device,
+                           extra=(("device", float(f.device)),))
+        for i, w in enumerate(plan.peer_degradations):
+            log.marker("peer-degrade", f"window{i}", w.start,
+                       extra=(("factor", float(w.factor)),
+                              ("until", float(w.end))))
 
     def shed(victim: Request, reason: str, t: float) -> None:
         log.marker("request-shed", reason, t,
@@ -282,7 +364,17 @@ def run_fleet_test(config: FleetConfig,
     free_at = [0.0] * n_devices
     now = 0.0
     while next_arrival < len(requests) or queue:
-        now = max(now, min(free_at))
+        alive_times = [t for t in free_at if t != math.inf]
+        if not alive_times:
+            # The whole fleet is down: everything still queued (or yet to
+            # arrive) can only be shed.
+            if requests:
+                admit_until(max(now, requests[-1].arrival))
+            for victim in list(queue.items):
+                queue.take(victim)
+                shed(victim, "fleet-down", now)
+            break
+        now = max(now, min(alive_times))
         if not queue:
             if next_arrival >= len(requests):
                 break
@@ -311,40 +403,128 @@ def run_fleet_test(config: FleetConfig,
         graph_id = key[0]
         spec = catalog.spec(graph_id)
         data_scale = catalog.data_scale(graph_id)
+
+        def start_markers(t: float, device: int, pooled: bool) -> None:
+            log.marker("warm-hit" if pooled else "warm-miss",
+                       f"{key[0]}/{key[1]}", t,
+                       extra=(("requests", float(len(batch))),
+                              ("device", float(device))))
+            for r in batch:
+                log.marker("request-start", r.tenant, t,
+                           extra=(("request", float(r.request_id)),
+                                  ("batch", float(len(batch))),
+                                  ("warm", 1.0 if pooled else 0.0),
+                                  ("device", float(device))))
+
+        route_free = free
+        if injector is not None:
+            # The breaker's view filters routing; if it rules out every
+            # free device, fall through so a half-open probe can happen.
+            route_free = [d for d in free if router.usable(d, now)] or free
         decision = router.decide(key, graph.edge_array_bytes,
-                                 spec.memory_bytes, free, pools)
+                                 spec.memory_bytes, route_free, pools)
 
         if decision.sharded:
-            # Fabric-wide dispatch: wait for every device, then run the
-            # graph sharded across all of them.
-            start = max([now] + free_at)
+            # Fabric-wide dispatch: wait for every surviving device, then
+            # run the graph sharded across them — a chaos run degrades to
+            # the surviving-device fabric instead of stalling forever on a
+            # dead peer.
+            survivors = [d for d in range(n_devices)
+                         if free_at[d] != math.inf]
+            start = max([now] + [free_at[d] for d in survivors])
             admit_until(start)
+            fab = config.fabric
+            if len(survivors) < n_devices:
+                mems = None
+                if fab.device_mems is not None:
+                    mems = tuple(fab.device_mems[d] for d in survivors)
+                fab = replace(fab, n_devices=len(survivors),
+                              device_mems=mems)
             engine = registry.create(
                 "Sharded", spec=spec, data_scale=data_scale,
-                fabric=config.fabric, inner=serve.engine)
-            pooled, device = False, FABRIC
+                fabric=fab, inner=serve.engine)
+            pooled, device, attempt = False, FABRIC, 0
+            start_markers(start, device, pooled)
+            result = engine.run(graph, catalog.program_for(batch, graph))
+            finish = start + result.elapsed_seconds
+            busy_devices = survivors
         else:
-            start = now
             device = decision.target
-            engine, pooled = pools[device].acquire(
-                key, lambda: registry.create(serve.engine, spec=spec,
-                                             data_scale=data_scale))
-        log.marker("warm-hit" if pooled else "warm-miss",
-                   f"{key[0]}/{key[1]}", start,
-                   extra=(("requests", float(len(batch))),
-                          ("device", float(device))))
-        for r in batch:
-            log.marker("request-start", r.tenant, start,
-                       extra=(("request", float(r.request_id)),
-                              ("batch", float(len(batch))),
-                              ("warm", 1.0 if pooled else 0.0),
-                              ("device", float(device))))
-        result = engine.run(graph, catalog.program_for(batch, graph))
+            start, attempt, dead_end = now, 0, False
+            while True:
+                if injector is not None \
+                        and injector.device_state(device, start) != "up":
+                    # Dead (or stalled) before the dispatch even started.
+                    fail_t = start
+                    lost = injector.device_state(device, start) == "down"
+                else:
+                    engine, pooled = pools[device].acquire(
+                        key, lambda: registry.create(serve.engine, spec=spec,
+                                                     data_scale=data_scale))
+                    if injector is None:
+                        start_markers(start, device, pooled)
+                        result = engine.run(
+                            graph, catalog.program_for(batch, graph))
+                        finish = start + result.elapsed_seconds
+                        break
+                    result = engine.run(
+                        graph, catalog.program_for(batch, graph))
+                    finish = start + result.elapsed_seconds
+                    down_t = injector.device_down_at(device)
+                    if down_t is None or not (start < down_t < finish):
+                        start_markers(start, device, pooled)
+                        break
+                    # Died mid-service: the work until the death is lost.
+                    fail_t, lost = down_t, True
+                if lost:
+                    free_at[device] = math.inf
+                log.marker("device-fail", f"dev{device}", fail_t,
+                           device=device,
+                           extra=(("device", float(device)),
+                                  ("attempt", float(attempt))))
+                if router.note_failure(device, fail_t):
+                    log.marker("breaker-open", f"dev{device}", fail_t,
+                               device=device,
+                               extra=(("device", float(device)),))
+                for r in batch:
+                    log.marker("request-retry", r.tenant, fail_t,
+                               extra=(("request", float(r.request_id)),
+                                      ("from", float(device)),
+                                      ("attempt", float(attempt))))
+                # Deterministic backoff before the relocated attempt,
+                # charged as queue time (start moves later, service does
+                # not).
+                start = fail_t + injector.plan.backoff_seconds(attempt)
+                attempt += 1
+                candidates = [d for d in range(n_devices)
+                              if free_at[d] != math.inf
+                              and router.usable(d, start)]
+                if not candidates:
+                    candidates = [d for d in range(n_devices)
+                                  if free_at[d] != math.inf]
+                if not candidates:
+                    dead_end = True
+                    break
+                if all(free_at[d] > start for d in candidates):
+                    start = min(free_at[d] for d in candidates)
+                ready = [d for d in candidates if free_at[d] <= start]
+                device = router.decide(key, graph.edge_array_bytes,
+                                       spec.memory_bytes, ready,
+                                       pools).target
+            if dead_end:
+                for r in batch:
+                    shed(r, "fleet-down", start)
+                now = start
+                continue
+            if router.note_success(device) and injector is not None:
+                log.marker("breaker-close", f"dev{device}", start,
+                           device=device,
+                           extra=(("device", float(device)),))
+            busy_devices = [device]
         run_results.append(result)
         warm_run = bool(result.extra.get("warm_start", 0.0))
-        finish = start + result.elapsed_seconds
         if decision.sharded:
-            for d in range(n_devices):
+            for d in busy_devices:
                 free_at[d] = finish
         else:
             pools[device].fold_result(result)
@@ -353,7 +533,8 @@ def run_fleet_test(config: FleetConfig,
             "dispatch", "fabric" if decision.sharded else f"dev{device}",
             start,
             extra=(("device", float(device)),
-                   ("devices", float(n_devices)),
+                   ("devices", float(len(busy_devices)
+                                     if decision.sharded else n_devices)),
                    ("requests", float(len(batch))),
                    ("service", float(result.elapsed_seconds)),
                    ("exchange_bytes",
@@ -367,7 +548,8 @@ def run_fleet_test(config: FleetConfig,
             responses[r.request_id] = Response(
                 request=r, status=RequestStatus.COMPLETED,
                 start_time=start, finish_time=finish,
-                batch_size=len(batch), warm=warm_run, device=device)
+                batch_size=len(batch), warm=warm_run, device=device,
+                retries=attempt)
         now = start  # the next free device may predate this finish
 
     done = [resp.finish_time for resp in responses.values()

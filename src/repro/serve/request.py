@@ -122,6 +122,9 @@ class Response:
     #: Device that served the request in a fleet run (``None`` on the
     #: single-server path; ``-1`` = a fabric-wide sharded dispatch).
     device: Optional[int] = None
+    #: How many dispatch attempts failed (device death / circuit breaker)
+    #: before the one that completed — 0 on every fault-free path.
+    retries: int = 0
 
     @property
     def completed(self) -> bool:

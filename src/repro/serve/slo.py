@@ -26,8 +26,8 @@ from typing import Any, Dict, Iterable, List
 
 from repro.gpusim.events import SimEvent
 
-__all__ = ["SLO_SCHEMA", "SLO_SCHEMA_FLEET", "fold_slo", "report_digest",
-           "canonical_json"]
+__all__ = ["SLO_SCHEMA", "SLO_SCHEMA_FLEET", "SLO_SCHEMA_DEGRADED",
+           "fold_slo", "report_digest", "canonical_json"]
 
 #: Report schema identifier; bump on any shape change.
 SLO_SCHEMA = "repro.serve/1"
@@ -37,6 +37,20 @@ SLO_SCHEMA = "repro.serve/1"
 #: single-server simulator never does, so its reports — and the pinned
 #: CI digest — keep :data:`SLO_SCHEMA` exactly).
 SLO_SCHEMA_FLEET = "repro.serve/2-fleet"
+
+#: Schema a report carries when it additionally includes the ``degraded``
+#: section: per-device downtime, failover/retry counts, and goodput while
+#: the fleet ran short-handed.  Emitted ONLY when device-fault markers
+#: (``device-down`` / ``device-up`` / ``device-fail`` / ``request-retry``)
+#: are present in the event stream — fault-free fleet runs keep
+#: :data:`SLO_SCHEMA_FLEET`, single-server runs keep :data:`SLO_SCHEMA`.
+SLO_SCHEMA_DEGRADED = "repro.serve/3-degraded"
+
+#: Marker kinds whose presence flips a report to the degraded schema.
+_DEGRADED_KINDS = frozenset({
+    "device-down", "device-up", "device-fail", "request-retry",
+    "breaker-open", "breaker-close",
+})
 
 
 def _percentiles(samples: List[float]) -> Dict[str, float]:
@@ -73,9 +87,14 @@ def fold_slo(events: Iterable[SimEvent], horizon: float | None = None) -> Dict[s
     warm_hits = 0
     warm_misses = 0
     dispatches: List[SimEvent] = []
+    fault_markers: List[SimEvent] = []
     last_t = 0.0
     for e in events:
-        last_t = max(last_t, e.end)
+        # Fault-timeline markers are emitted eagerly at *plan* times, which
+        # can sit far beyond the load test; they must not stretch the
+        # default horizon.
+        if e.kind not in _DEGRADED_KINDS:
+            last_t = max(last_t, e.end)
         extra = dict(e.extra)
         rid = int(extra["request"]) if "request" in extra else None
         if e.kind == "request-arrive":
@@ -94,8 +113,13 @@ def fold_slo(events: Iterable[SimEvent], horizon: float | None = None) -> Dict[s
             warm_misses += 1
         elif e.kind == "dispatch":
             dispatches.append(e)
+        elif e.kind in _DEGRADED_KINDS:
+            fault_markers.append(e)
     if horizon is None:
         horizon = last_t
+    # A fault scheduled beyond the horizon never touched any request: the
+    # report (and schema) stay exactly fault-free.
+    fault_markers = [e for e in fault_markers if e.start <= horizon]
 
     e2e: List[float] = []
     queue: List[float] = []
@@ -162,7 +186,96 @@ def fold_slo(events: Iterable[SimEvent], horizon: float | None = None) -> Dict[s
     if dispatches:
         out["schema"] = SLO_SCHEMA_FLEET
         out["fleet"] = _fold_fleet(dispatches, horizon)
+    if fault_markers:
+        out["schema"] = SLO_SCHEMA_DEGRADED
+        out["degraded"] = _fold_degraded(fault_markers, arrive, complete,
+                                         horizon)
     return out
+
+
+def _fold_degraded(markers: List[SimEvent], arrive: Dict[int, SimEvent],
+                   complete: Dict[int, SimEvent],
+                   horizon: float) -> Dict[str, Any]:
+    """The failure ledger: downtime, failover counts, goodput-under-failure.
+
+    ``device-down`` / ``device-up`` pairs bound each device's outage
+    windows (an unclosed window — a permanent loss — runs to the horizon).
+    ``device-fail`` counts dispatch attempts that hit a dead device,
+    ``request-retry`` counts per-request relocations, and
+    ``breaker-open`` / ``breaker-close`` count circuit-breaker trips.
+    ``goodput_under_failure`` is deadline-met completions per second inside
+    the union of all outage windows — the fleet's delivered quality while
+    running short-handed.
+    """
+    open_at: Dict[int, float] = {}
+    windows: List[tuple] = []  # (start, end, device)
+    per_device: Dict[int, Dict[str, float]] = {}
+
+    def bucket(d: int) -> Dict[str, float]:
+        b = per_device.get(d)
+        if b is None:
+            b = per_device[d] = {
+                "downtime_seconds": 0.0, "outages": 0,
+                "dispatch_failures": 0, "breaker_opens": 0,
+            }
+        return b
+
+    retried: Dict[int, int] = {}
+    breaker_closes = 0
+    for e in markers:
+        extra = dict(e.extra)
+        dev = e.device if e.device is not None \
+            else int(extra.get("device", -1))
+        if e.kind == "device-down":
+            open_at.setdefault(dev, e.start)
+        elif e.kind == "device-up":
+            t0 = open_at.pop(dev, None)
+            if t0 is not None:
+                windows.append((t0, e.start, dev))
+        elif e.kind == "device-fail":
+            bucket(dev)["dispatch_failures"] += 1
+        elif e.kind == "breaker-open":
+            bucket(dev)["breaker_opens"] += 1
+        elif e.kind == "breaker-close":
+            breaker_closes += 1
+        elif e.kind == "request-retry":
+            rid = int(extra.get("request", -1))
+            retried[rid] = retried.get(rid, 0) + 1
+    for dev, t0 in sorted(open_at.items()):
+        windows.append((t0, max(horizon, t0), dev))
+    for t0, t1, dev in windows:
+        b = bucket(dev)
+        b["downtime_seconds"] += t1 - t0
+        b["outages"] += 1
+
+    # Union of all outage intervals → time the fleet ran short-handed.
+    merged: List[List[float]] = []
+    for t0, t1, _ in sorted(windows):
+        if merged and t0 <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], t1)
+        else:
+            merged.append([t0, t1])
+    degraded_seconds = sum(t1 - t0 for t0, t1 in merged)
+    met_during = 0
+    for rid, done in sorted(complete.items()):
+        came = arrive.get(rid)
+        if came is None:
+            continue
+        deadline = dict(came.extra).get("deadline", -1.0)
+        if deadline >= 0 and done.end > deadline:
+            continue
+        if any(t0 <= done.end <= t1 for t0, t1 in merged):
+            met_during += 1
+
+    return {
+        "devices": {str(d): per_device[d] for d in sorted(per_device)},
+        "degraded_seconds": degraded_seconds,
+        "retried_requests": sum(retried.values()),
+        "relocated_requests": len(retried),
+        "breaker_closes": breaker_closes,
+        "goodput_under_failure": (met_during / degraded_seconds
+                                  if degraded_seconds > 0 else 0.0),
+    }
 
 
 def _fold_fleet(dispatches: List[SimEvent],

@@ -165,3 +165,64 @@ class TestChaosCommand:
         d1 = [ln for ln in first.splitlines() if ln.startswith("digest:")]
         d2 = [ln for ln in second.splitlines() if ln.startswith("digest:")]
         assert d1 != d2
+
+
+class TestFleetChaosCommand:
+    ARGV = ["chaos", "GS", "BFS", "--fleet", "--scale", "5e-5"]
+
+    def test_fleet_chaos_recovers_and_degrades(self, capsys, tmp_path):
+        report = tmp_path / "degraded.json"
+        rc = main(self.ARGV + ["-o", str(report)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "identical to fault-free baseline" in out
+        assert "device_losses" in out
+        assert "repro.serve/3-degraded" in out
+        import json
+        payload = json.loads(report.read_text())
+        assert payload["report"]["degraded"]["relocated_requests"] > 0
+        assert payload["digest"] in out
+
+    def test_fleet_chaos_twice_run_digests_identical(self, capsys):
+        assert main(self.ARGV) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGV) == 0
+        second = capsys.readouterr().out
+        d1 = [ln for ln in first.splitlines() if ln.startswith("digest:")]
+        d2 = [ln for ln in second.splitlines() if ln.startswith("digest:")]
+        assert len(d1) == 2  # one per leg: engine recovery + fleet load
+        assert d1 == d2
+
+    def test_fleet_chaos_needs_two_devices(self):
+        with pytest.raises(SystemExit, match="at least 2 devices"):
+            main(self.ARGV + ["--devices", "1"])
+
+
+class TestFabricValidation:
+    """Malformed fabrics exit with a friendly message naming the key."""
+
+    def test_serve_rejects_zero_devices(self):
+        with pytest.raises(SystemExit, match="n_devices=0"):
+            main(["serve", "--quick", "--devices", "0"])
+
+    def test_fleet_rejects_zero_devices(self):
+        with pytest.raises(SystemExit, match="n_devices=0"):
+            main(["fleet", "--devices", "0"])
+
+    def test_fleet_rejects_malformed_fabric_json(self):
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["fleet", "--fabric", "{oops"])
+
+    def test_fleet_rejects_unknown_fabric_key(self):
+        with pytest.raises(SystemExit, match="bogus_key"):
+            main(["fleet", "--fabric", '{"n_devices": 2, "bogus_key": 1}'])
+
+    def test_serve_rejects_non_object_fabric(self):
+        with pytest.raises(SystemExit, match="JSON object"):
+            main(["serve", "--quick", "--fabric", '["not", "a", "dict"]'])
+
+    def test_fleet_accepts_explicit_fabric(self, capsys):
+        rc = main(["fleet", "--requests", "4", "--scale", "5e-5",
+                   "--fabric", '{"n_devices": 2, "topology": "nvlink"}'])
+        assert rc == 0
+        assert "digest: " in capsys.readouterr().out

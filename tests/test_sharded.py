@@ -58,10 +58,12 @@ class TestConstruction:
         with pytest.raises(ValueError):
             ShardedEngine(inner="Sharded")
 
-    def test_rejects_fault_plan(self):
+    def test_accepts_fault_plan(self):
+        # Chaos mode used to be rejected; fleet fault tolerance made the
+        # plan a first-class constructor argument.
         from repro.gpusim.faults import standard_plan
-        with pytest.raises(ValueError, match="fault"):
-            ShardedEngine(fault_plan=standard_plan())
+        eng = ShardedEngine(fault_plan=standard_plan())
+        assert eng.fault_plan is not None
 
     def test_registered_with_opts(self):
         info = registry.describe("Sharded")
