@@ -111,7 +111,7 @@ def _bench_promote(quick: bool) -> Prepared:
         # work.  The reset is a cheap vectorized fill, charged to the
         # benchmark uniformly across revisions.
         region.resident[:] = False
-        region._vertex_bitmap = None
+        region._invalidate()
         return region.promote_vertices(mask)
 
     return Prepared(fn=run, units={"edges": float(n_edges),
@@ -124,7 +124,7 @@ def _bench_bitmap(quick: bool) -> Prepared:
     graph, region, _ = _region_inputs(quick)
 
     def run():
-        region._vertex_bitmap = None  # invalidate, as swap()/shrink_to() do
+        region._invalidate()  # as swap()/shrink_to() do
         return region.vertex_static_bitmap()
 
     return Prepared(fn=run, units={"vertices": float(graph.n_vertices)})

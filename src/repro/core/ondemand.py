@@ -24,7 +24,8 @@ import numpy as np
 from repro.algorithms.frontier import active_edge_count
 from repro.graph.csr import CSRGraph
 
-__all__ = ["OnDemandRound", "OnDemandPlan", "plan_ondemand", "OFFSET_BYTES_PER_VERTEX"]
+__all__ = ["OnDemandRound", "OnDemandPlan", "plan_ondemand", "round_shares",
+           "OFFSET_BYTES_PER_VERTEX"]
 
 #: Bytes per on-demand vertex for the request/offset structures that ride
 #: along with the edges (mirrors Subway's SubVertex arrays).
@@ -62,6 +63,34 @@ class OnDemandPlan:
             yield OnDemandRound(n_edges=share_edges, nbytes=share_bytes)
             bytes_left -= share_bytes
             edges_left -= share_edges
+
+    def round_sizes(self) -> tuple[int, int, int, int]:
+        """The byte split of :meth:`iter_rounds` in closed form.
+
+        Returns ``(hi, n_hi, lo, n_lo)``: the first ``n_hi`` rounds carry
+        ``hi`` bytes, the remaining ``n_lo`` carry ``lo``.  Lets the
+        manager charge a many-round chain from the exact per-round volumes
+        without iterating (the parity the 64→65-round boundary test pins).
+        """
+        return round_shares(self.total_bytes, self.n_rounds)
+
+
+def round_shares(total: int, n_rounds: int) -> tuple[int, int, int, int]:
+    """Closed form of the iterative ``ceil(left / rounds_left)`` split.
+
+    Splitting ``total`` over ``n_rounds`` by repeatedly taking
+    ``ceil(remaining / rounds_remaining)`` gives exactly ``total % n``
+    rounds of ``ceil(total/n)`` followed by the rest at ``total // n``
+    (each ceil take keeps the remainder's residue class; once the residue
+    hits zero the division is exact).  Returned as ``(hi, n_hi, lo,
+    n_lo)`` with the ``hi`` rounds first, matching
+    :meth:`OnDemandPlan.iter_rounds` round for round.
+    """
+    if n_rounds <= 0:
+        return 0, 0, 0, 0
+    lo, rem = divmod(total, n_rounds)
+    hi = lo + 1 if rem else lo
+    return hi, rem, lo, n_rounds - rem
 
 
 def plan_ondemand(

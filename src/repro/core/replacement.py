@@ -21,11 +21,21 @@ The server only gets the PCIe time left while the GPU processes the
 On-demand Region; the paper measures that window at ~28 % of iteration
 time, enough for only ~2 % of the data (§5) — which is why replacement
 barely moves the needle (the ablation benchmark reproduces that).
+
+Representation note: the counters can be fed either densely
+(:meth:`HotnessTable.update`, one array of per-chunk counts) or as merged
+touched-chunk intervals (:meth:`HotnessTable.update_runs`, what the
+Manager's lean path produces).  Interval updates are queued and only
+*materialized* into the dense ``cumulative`` / ``last`` arrays when
+something actually reads them — :meth:`plan_swaps` usually answers from
+fragment-level aggregates and early-exits long before that, so a run whose
+region never qualifies for a swap touches no chunk-length array at all.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -49,6 +59,8 @@ class HotnessTable:
 
     ``cumulative[c]`` counts iterations in which chunk ``c`` was touched;
     ``last[c]`` is 1 iff it was touched in the most recent iteration.
+    Both are materialized lazily from any queued interval updates (see the
+    module docstring); read them through the properties.
     """
 
     def __init__(self, n_chunks: int, policy: str = "last", stale_threshold: int = 1):
@@ -67,17 +79,77 @@ class HotnessTable:
         self.n_chunks = int(n_chunks)
         self.policy = policy
         self.stale_threshold = stale_threshold
-        self.cumulative = np.zeros(self.n_chunks, dtype=np.int64)
-        self.last = np.zeros(self.n_chunks, dtype=np.int64)
+        self._cumulative = np.zeros(self.n_chunks, dtype=np.int64)
+        self._last = np.zeros(self.n_chunks, dtype=np.int64)
+        #: Interval updates (one per iteration, oldest first) not yet folded
+        #: into the dense arrays.
+        self._pending: List[Tuple[np.ndarray, np.ndarray]] = []
+        #: Fragment geometry cache: f -> (boundaries, sizes).
+        self._frag_geom: dict = {}
 
+    # --------------------------------------------------------------- state
+    @property
+    def cumulative(self) -> np.ndarray:
+        self._materialize()
+        return self._cumulative
+
+    @property
+    def last(self) -> np.ndarray:
+        self._materialize()
+        return self._last
+
+    def _materialize(self) -> None:
+        """Fold queued interval updates into the dense arrays."""
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        # ``cumulative`` gains each update's 0/1 touched indicator.  Within
+        # one update the merged runs are disjoint, so stacking all updates'
+        # ±1 boundary marks and prefix-summing once adds exactly the sum of
+        # the indicators.
+        diff = np.zeros(self.n_chunks + 1, dtype=np.int64)
+        for starts, ends in pending:
+            np.add.at(diff, starts, 1)
+            np.add.at(diff, ends, -1)
+        self._cumulative += np.cumsum(diff[:-1])
+        # ``last`` reflects only the newest update.
+        last_s, last_e = pending[-1]
+        last = np.zeros(self.n_chunks, dtype=np.int64)
+        for s, e in zip(last_s.tolist(), last_e.tolist()):
+            last[s:e] = 1
+        self._last = last
+
+    # ------------------------------------------------------------- updates
     def update(self, touch_counts: np.ndarray) -> None:
         """Fold one iteration's per-chunk access counts in (binarized)."""
         if touch_counts.shape != (self.n_chunks,):
             raise ValueError("touch_counts shape mismatch")
-        touched = (touch_counts > 0).astype(np.int64)
-        self.cumulative += touched
-        self.last = touched
+        self._materialize()
+        touched = touch_counts > 0
+        self._cumulative += touched
+        self._last = touched.astype(np.int64)
 
+    def update_runs(self, starts: np.ndarray, ends: np.ndarray) -> None:
+        """Fold one iteration in from merged touched-chunk intervals.
+
+        ``(starts, ends)`` are half-open, disjoint, increasing — exactly
+        what :meth:`StaticRegion.touched_chunk_runs` returns.  Equivalent to
+        :meth:`update` on the dense indicator of the union of the
+        intervals, but queued: no chunk-length array is written until a
+        reader forces materialization.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        if starts.shape != ends.shape:
+            raise ValueError("starts/ends shape mismatch")
+        if starts.size:
+            if starts[0] < 0 or ends[-1] > self.n_chunks:
+                raise ValueError("interval outside the chunk space")
+            if np.any(ends <= starts) or np.any(starts[1:] <= ends[:-1]):
+                raise ValueError("intervals must be disjoint and increasing")
+        self._pending.append((starts, ends))
+
+    # -------------------------------------------------------------- scores
     def staleness(self) -> np.ndarray:
         """Boolean: chunks considered stale under the configured policy."""
         if self.policy == "cumulative":
@@ -90,8 +162,27 @@ class HotnessTable:
         """Ranking score for swap-in candidates (hotter = better)."""
         return self.last if self.policy == "last" else -self.cumulative
 
+    # ---------------------------------------------------------------- plan
+    def _fragment_geometry(self, f: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(boundaries, sizes)`` of the fragment partition for reduceat."""
+        geom = self._frag_geom.get(f)
+        if geom is None:
+            boundaries = np.arange(0, self.n_chunks, f, dtype=np.int64)
+            sizes = np.full(boundaries.size, f, dtype=np.int64)
+            tail = self.n_chunks - int(boundaries[-1]) if boundaries.size else 0
+            if boundaries.size and tail != f:
+                sizes[-1] = tail
+            geom = self._frag_geom[f] = (boundaries, sizes)
+        return geom
+
+    def fragment_resident_counts(self, resident: np.ndarray, f: int) -> np.ndarray:
+        """Per-fragment resident-chunk counts (callers may cache this)."""
+        boundaries, _ = self._fragment_geometry(f)
+        return np.add.reduceat(resident, boundaries, dtype=np.int64)
+
     def plan_swaps(
-        self, resident: np.ndarray, budget_chunks: int, fragment_chunks: int = 64
+        self, resident: np.ndarray, budget_chunks: int, fragment_chunks: int = 64,
+        resident_counts: Optional[np.ndarray] = None,
     ) -> SwapPlan:
         """Pick a balanced fragment-aligned swap of ≤ ``budget_chunks`` chunks.
 
@@ -99,6 +190,14 @@ class HotnessTable:
         majority-stale, for loading when fully absent and majority-fresh.
         The plan pairs the coldest eviction fragments with the hottest load
         fragments, one for one, so the region stays exactly as full.
+
+        ``resident_counts`` optionally passes precomputed per-fragment
+        resident counts (see :meth:`fragment_resident_counts`) — residency
+        changes far more rarely than the per-iteration planning cadence, so
+        the Manager caches them on the region.  Staleness aggregates are
+        only computed once both a fully-resident and a fully-absent
+        candidate fragment exist; a region pinned fully resident (or fully
+        absent) plans in O(fragments) with no chunk-length pass.
         """
         empty = np.empty(0, dtype=np.int64)
         if budget_chunks <= 0 or self.n_chunks == 0 or fragment_chunks <= 0:
@@ -106,20 +205,17 @@ class HotnessTable:
         if resident.shape != (self.n_chunks,):
             raise ValueError("resident mask shape mismatch")
         f = int(fragment_chunks)
-        n_frags = -(-self.n_chunks // f)
-        pad = n_frags * f - self.n_chunks
-
-        def frag_sum(x: np.ndarray) -> np.ndarray:
-            return np.pad(x, (0, pad)).reshape(n_frags, f).sum(axis=1)
-
-        res_cnt = frag_sum(resident.astype(np.int64))
-        stale_cnt = frag_sum(self.staleness().astype(np.int64))
-        hot = frag_sum(self.hotness())
-        sizes = np.full(n_frags, f, dtype=np.int64)
-        if pad:
-            sizes[-1] = f - pad
-        evict_ok = (res_cnt == sizes) & (stale_cnt * 2 > sizes)
-        load_ok = (res_cnt == 0) & (stale_cnt * 2 <= sizes)
+        boundaries, sizes = self._fragment_geometry(f)
+        if resident_counts is None:
+            resident_counts = self.fragment_resident_counts(resident, f)
+        full = resident_counts == sizes
+        absent = resident_counts == 0
+        if not full.any() or not absent.any():
+            return SwapPlan(empty, empty)
+        stale_cnt = np.add.reduceat(self.staleness(), boundaries,
+                                    dtype=np.int64)
+        evict_ok = full & (stale_cnt * 2 > sizes)
+        load_ok = absent & (stale_cnt * 2 <= sizes)
         evict_frags = np.nonzero(evict_ok)[0]
         load_frags = np.nonzero(load_ok)[0]
         if evict_frags.size == 0 or load_frags.size == 0:
@@ -127,6 +223,7 @@ class HotnessTable:
         k = min(budget_chunks // f, evict_frags.size, load_frags.size)
         if k <= 0:
             return SwapPlan(empty, empty)
+        hot = np.add.reduceat(self.hotness(), boundaries, dtype=np.int64)
         evict_frags = evict_frags[np.argsort(hot[evict_frags], kind="stable")[:k]]
         load_frags = load_frags[np.argsort(-hot[load_frags], kind="stable")[:k]]
         evict = _expand_fragments(evict_frags, f, self.n_chunks)

@@ -69,19 +69,25 @@ class StaticRegion:
         self.graph = graph
         self.chunk_bytes = int(chunk_bytes)
         self.fragment_chunks = int(fragment_chunks)
-        edge_bytes = graph.edge_array_bytes
-        self.n_chunks = -(-edge_bytes // self.chunk_bytes) if edge_bytes else 0
+        # The per-vertex chunk-span geometry is shared per (graph, chunk
+        # size) pair — the hotness table and the Hybrid policy reason about
+        # the same map, and the serving layer reuses one graph across many
+        # requests.
+        cmap = graph.chunk_map(self.chunk_bytes)
+        self.chunk_map = cmap
+        self.n_chunks = cmap.n_chunks
         self.capacity_chunks = min(int(capacity_bytes) // self.chunk_bytes, self.n_chunks)
         self.resident = np.zeros(self.n_chunks, dtype=bool)
-        self._fill(fill, seed)
         self._vertex_bitmap: np.ndarray | None = None
-        # Precompute each vertex's chunk span once (degree-0 handled below).
-        bpe = graph.bytes_per_edge
-        lo = graph.indptr[:-1] * bpe
-        hi = graph.indptr[1:] * bpe
-        self._has_edges = hi > lo
-        self._c_lo = np.where(self._has_edges, lo // self.chunk_bytes, 0)
-        self._c_hi = np.where(self._has_edges, (hi - 1) // self.chunk_bytes, -1)
+        # Merged maximal runs of resident chunks — the representation the
+        # per-iteration queries are answered from (see resident_runs).
+        self._resident_runs: tuple | None = None
+        # (fragment_chunks, per-fragment resident counts) for plan_swaps.
+        self._frag_res: tuple | None = None
+        self._fill(fill, seed)
+        self._has_edges = cmap.has_edges
+        self._c_lo = cmap.c_lo
+        self._c_hi = cmap.c_hi
         # Scratch buffer reused by the per-iteration paths (bitmap/coverage
         # prefix sums); contents are never live across calls.
         self._cum_scratch = np.empty(self.n_chunks + 1, dtype=np.int64)
@@ -139,16 +145,124 @@ class StaticRegion:
 
         Degree-0 vertices are static by convention (they need no edge data).
         Cached; invalidated by :meth:`swap` and :meth:`shrink_to`.
+
+        A vertex is covered exactly when its chunk span lies inside one
+        maximal run of resident chunks, so the test is a searchsorted over
+        the (cached) run boundaries — no chunk-length prefix sum, whose
+        sequential cumsum dominated this method's cost at realistic chunk
+        counts.
         """
         if self._vertex_bitmap is None:
             if self.n_chunks == 0:
                 self._vertex_bitmap = np.ones(self.graph.n_vertices, dtype=bool)
             else:
-                cum = self._resident_prefix()
-                span = self._c_hi - self._c_lo + 1
-                covered = cum[self._c_hi + 1] - cum[self._c_lo]
-                self._vertex_bitmap = np.where(self._has_edges, covered == span, True)
+                starts, ends, _ = self.resident_runs()
+                if starts.size == 0:
+                    self._vertex_bitmap = ~self._has_edges
+                else:
+                    idx = np.searchsorted(starts, self._c_lo, side="right") - 1
+                    idxc = np.maximum(idx, 0)
+                    covered = (idx >= 0) & (self._c_hi < ends[idxc])
+                    self._vertex_bitmap = covered | ~self._has_edges
         return self._vertex_bitmap
+
+    def _invalidate(self) -> None:
+        """Drop caches derived from residency (bitmap, runs, frag counts)."""
+        self._vertex_bitmap = None
+        self._resident_runs = None
+        self._frag_res = None
+
+    def fragment_resident_counts(self, fragment_chunks: int) -> np.ndarray:
+        """Per-fragment resident-chunk counts (cached until residency moves).
+
+        The replacement planner's candidate filter needs these every
+        iteration, but residency changes only on an actual swap / promote /
+        shrink — so the reduceat is paid once per mutation, not per
+        iteration.
+        """
+        f = int(fragment_chunks)
+        cached = self._frag_res
+        if cached is not None and cached[0] == f:
+            return cached[1]
+        if self.n_chunks == 0:
+            counts = np.zeros(0, dtype=np.int64)
+        else:
+            bounds = np.arange(0, self.n_chunks, f, dtype=np.int64)
+            counts = np.add.reduceat(self.resident, bounds, dtype=np.int64)
+        self._frag_res = (f, counts)
+        return counts
+
+    def resident_runs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Maximal runs of resident chunks: ``(starts, ends, prefix)``.
+
+        ``[starts[i], ends[i])`` are the half-open resident intervals in
+        increasing order; ``prefix`` is the exclusive prefix sum of their
+        lengths (``prefix[i]`` = resident chunks before run ``i``), sized
+        ``len(starts) + 1``.  Cached; every residency mutation invalidates.
+        """
+        if self._resident_runs is None:
+            r = self.resident
+            if r.size == 0:
+                empty = np.empty(0, dtype=np.int64)
+                self._resident_runs = (empty, empty,
+                                       np.zeros(1, dtype=np.int64))
+            else:
+                d = np.diff(r.view(np.int8))
+                starts = np.nonzero(d == 1)[0] + 1
+                ends = np.nonzero(d == -1)[0] + 1
+                if r[0]:
+                    starts = np.concatenate(([0], starts))
+                if r[-1]:
+                    ends = np.concatenate((ends, [r.size]))
+                prefix = np.zeros(starts.size + 1, dtype=np.int64)
+                np.cumsum(ends - starts, out=prefix[1:])
+                self._resident_runs = (starts, ends, prefix)
+        return self._resident_runs
+
+    def touched_chunk_runs(self, active: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Merged chunk intervals the active vertices' edge ranges touch.
+
+        The sparse counterpart of :meth:`chunk_touch_counts`: returns
+        half-open ``(starts, ends)`` with overlapping/adjacent per-vertex
+        spans merged, so ``O(active vertices)`` work replaces the dense
+        chunk-length sweep.  A chunk is in some run exactly when its dense
+        touch count is nonzero (per-vertex chunk spans are nondecreasing in
+        vertex id, which is what makes the single-pass merge valid).
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if self.n_chunks == 0:
+            return empty, empty
+        vs = np.nonzero(active & self._has_edges)[0]
+        if vs.size == 0:
+            return empty, empty
+        s = self._c_lo[vs]
+        e = self._c_hi[vs] + 1
+        brk = np.nonzero(s[1:] > e[:-1])[0] + 1
+        run_s = s[np.concatenate(([0], brk))]
+        run_e = e[np.concatenate((brk - 1, [e.size - 1]))]
+        return run_s, run_e
+
+    def resident_count_in_runs(self, run_s: np.ndarray, run_e: np.ndarray) -> int:
+        """Number of resident chunks inside the given half-open intervals.
+
+        Interval-list intersection against :meth:`resident_runs` —
+        ``O((runs + resident runs) log resident runs)``, independent of the
+        chunk count.
+        """
+        if run_s.size == 0:
+            return 0
+        starts, ends, prefix = self.resident_runs()
+        if starts.size == 0:
+            return 0
+
+        def rank(x: np.ndarray) -> np.ndarray:
+            """Resident chunks with id < x, for each x."""
+            i = np.searchsorted(starts, x, side="right") - 1
+            ic = np.maximum(i, 0)
+            partial = np.minimum(x - starts[ic], ends[ic] - starts[ic])
+            return np.where(i >= 0, prefix[ic] + partial, 0)
+
+        return int((rank(run_e) - rank(run_s)).sum())
 
     def _resident_prefix(self) -> np.ndarray:
         """Inclusive prefix sum of ``resident`` into the shared scratch.
@@ -212,7 +326,7 @@ class StaticRegion:
         if take.size == 0:
             return 0
         self.resident[take] = True
-        self._vertex_bitmap = None
+        self._invalidate()
         return int(take.size)
 
     # ------------------------------------------------------------ mutation
@@ -246,7 +360,7 @@ class StaticRegion:
         span = np.cumsum(diff[:-1]) > 0
         before = self.resident_chunks
         self.resident |= span
-        self._vertex_bitmap = None
+        self._invalidate()
         return self.resident_chunks - before
 
     def swap(self, evict: np.ndarray, load: np.ndarray) -> int:
@@ -266,7 +380,7 @@ class StaticRegion:
             raise ValueError("swap would overflow the static region")
         self.resident[evict] = False
         self.resident[load] = True
-        self._vertex_bitmap = None
+        self._invalidate()
         return int(load.size) * self.chunk_bytes
 
     def shrink_to(self, capacity_bytes: int) -> int:
@@ -287,5 +401,5 @@ class StaticRegion:
         resident_ids = np.nonzero(self.resident)[0]
         victims = resident_ids[-excess:]
         self.resident[victims] = False
-        self._vertex_bitmap = None
+        self._invalidate()
         return int(victims.size)

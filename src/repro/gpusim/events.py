@@ -34,6 +34,8 @@ import math
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.gpusim.clock import Span
 from repro.gpusim.metrics import Metrics
 
@@ -78,6 +80,8 @@ COUNTER_FIELDS: Tuple[str, ...] = (
     "kernel_aborts",
     "retry_seconds",
 )
+
+_COUNTER_SET = frozenset(COUNTER_FIELDS)
 
 #: Event kinds emitted by chaos-mode fault injection and recovery.  Lane
 #: time under these kinds is *wasted* work: :func:`idle_breakdown` reports
@@ -318,6 +322,128 @@ class EventLog:
         if self.record:
             self.events.append(event)
         return event
+
+    def emit_op(self, lane: str, kind: str, label: str, start: float,
+                end: float, counters: Optional[Mapping[str, Any]] = None,
+                extra: Tuple[Tuple[str, float], ...] = (),
+                device: Optional[int] = None) -> None:
+        """Fold one lane op without materializing a :class:`SimEvent`.
+
+        The scalar fast path behind :meth:`~repro.gpusim.stream.Lane.submit`:
+        identical fold semantics to :meth:`emit` — same counter additions,
+        same phase attribution, same lane stats, stamped with the current
+        phase/iteration context — but the frozen dataclass (16 counter
+        fields, a ``__init__`` per op) is only constructed when the log is
+        recording, where the retained event has to exist anyway.
+        """
+        if self.record:
+            self.emit(SimEvent(
+                lane=lane, kind=kind, label=label, start=start, end=end,
+                phase=self.current_phase, iteration=self.current_iteration,
+                device=device, extra=extra, **dict(counters or {}),
+            ))
+            return
+        metrics = self.metrics
+        if counters:
+            for name, value in counters.items():
+                if name not in _COUNTER_SET:
+                    raise TypeError(f"unknown counter field {name!r}")
+                if value:
+                    setattr(metrics, name, getattr(metrics, name) + value)
+        if self.current_phase is not None and end > start:
+            metrics.add_phase(self.current_phase, end - start)
+        if lane:
+            key = lane if device is None else f"{lane}@{device}"
+            stats = self.lane_stats.get(key)
+            if stats is None:
+                stats = self.lane_stats[key] = LaneStats()
+            stats.busy_seconds += end - start
+            stats.n_ops += 1
+            if start < stats.first_start:
+                stats.first_start = start
+            if end > stats.last_end:
+                stats.last_end = end
+
+    def emit_batch(self, lane: str, kind: str, label: str,
+                   starts, ends,
+                   counters: Optional[Mapping[str, Any]] = None,
+                   device: Optional[int] = None) -> None:
+        """Fold a column of same-lane, same-context ops in one call.
+
+        ``starts``/``ends`` are equal-length arrays, one op per row in
+        emission order; ``counters`` maps counter names to per-op integer
+        columns of the same length.  In lean mode the integer counters fold
+        through exact array sums while the float accumulators — per-phase
+        seconds, lane busy time, ``retry_seconds`` — are added row by row,
+        so the resulting :class:`Metrics` equal a row-by-row :meth:`emit`
+        sequence bit for bit (float addition is not associative; a
+        ``np.sum`` shortcut would drift in the last ulp).  In recorded mode
+        the rows materialize as individual events, so the retained trace is
+        the same as per-op emission.
+
+        Rows are folded as given: callers must pre-filter empty ops
+        (zero duration, no counters) exactly as :meth:`Lane.submit`
+        short-circuits them.
+        """
+        starts = np.asarray(starts, dtype=np.float64)
+        ends = np.asarray(ends, dtype=np.float64)
+        n = starts.size
+        if ends.size != n:
+            raise ValueError("starts/ends length mismatch")
+        cols = {}
+        if counters:
+            for name, col in counters.items():
+                if name not in _COUNTER_SET:
+                    raise TypeError(f"unknown counter field {name!r}")
+                col = np.asarray(col)
+                if col.shape != (n,):
+                    raise ValueError(f"counter column {name!r} shape mismatch")
+                cols[name] = col
+        if n == 0:
+            return
+        if self.record:
+            phase, it = self.current_phase, self.current_iteration
+            for i in range(n):
+                row = {name: col[i].item() for name, col in cols.items()
+                       if col[i]}
+                self.emit(SimEvent(
+                    lane=lane, kind=kind, label=label,
+                    start=float(starts[i]), end=float(ends[i]),
+                    phase=phase, iteration=it, device=device, **row,
+                ))
+            return
+        metrics = self.metrics
+        for name, col in cols.items():
+            if name == "retry_seconds":
+                for v in col.tolist():
+                    if v:
+                        metrics.retry_seconds += v
+            else:
+                total = int(col.sum())
+                if total:
+                    setattr(metrics, name, getattr(metrics, name) + total)
+        durations = (ends - starts).tolist()
+        if self.current_phase is not None:
+            phase = self.current_phase
+            for d in durations:
+                if d > 0:
+                    metrics.add_phase(phase, d)
+        if lane:
+            key = lane if device is None else f"{lane}@{device}"
+            stats = self.lane_stats.get(key)
+            if stats is None:
+                stats = self.lane_stats[key] = LaneStats()
+            busy = stats.busy_seconds
+            for d in durations:
+                busy += d
+            stats.busy_seconds = busy
+            stats.n_ops += n
+            first = float(starts.min())
+            last = float(ends.max())
+            if first < stats.first_start:
+                stats.first_start = first
+            if last > stats.last_end:
+                stats.last_end = last
 
     def marker(self, kind: str, label: str, t: float,
                counters: Optional[Mapping[str, int]] = None,

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import Mapping, Optional, Tuple
 
 from repro.gpusim.clock import VirtualClock
-from repro.gpusim.events import EventLog, SimEvent, qualified_lane
+from repro.gpusim.events import EventLog, qualified_lane
 from repro.gpusim.faults import FaultInjector, KernelFaultError, TransferFaultError
 
 __all__ = ["Lane"]
@@ -96,14 +96,12 @@ class Lane:
         self.busy_until = end
         if duration > 0:
             self.clock.log(self.key, label, start, end)
-        self.log.emit(SimEvent(
-            lane=self.name, kind=kind, label=label, start=start, end=end,
-            phase=self.log.current_phase,
-            iteration=self.log.current_iteration,
-            device=self.device,
-            extra=extra,
-            **dict(counters or {}),
-        ))
+        # emit_op folds without constructing a SimEvent in lean mode (and
+        # builds the identical event in recorded mode).
+        self.log.emit_op(
+            self.name, kind, label, start, end,
+            counters=counters, extra=extra, device=self.device,
+        )
         return end
 
     # ------------------------------------------------------------ resilience

@@ -22,7 +22,8 @@ from typing import Iterable, Optional
 
 import numpy as np
 
-__all__ = ["CSRGraph", "EDGE_INDEX_BYTES", "WEIGHT_BYTES", "VERTEX_STATE_BYTES"]
+__all__ = ["CSRGraph", "ChunkMap", "EDGE_INDEX_BYTES", "WEIGHT_BYTES",
+           "VERTEX_STATE_BYTES"]
 
 #: Bytes per edge for the destination-index array (int32).
 EDGE_INDEX_BYTES = 4
@@ -32,6 +33,29 @@ WEIGHT_BYTES = 4
 #: array (8), the CSR offsets (8), active/static bitmaps and frontier
 #: scratch (8).  Used when sizing datasets the way §4.1 does.
 VERTEX_STATE_BYTES = 24
+
+
+@dataclass(frozen=True)
+class ChunkMap:
+    """Per-vertex chunk spans of the edge array at one chunk granularity.
+
+    The geometry every chunk-granular component needs — the Static Region's
+    residency table, the §3.4 hotness counters, and the Hybrid policy's
+    density reconstruction all reason about which chunks a vertex's edge
+    range touches.  Computed once per ``(graph, chunk_bytes)`` pair and
+    shared (see :meth:`CSRGraph.chunk_map`), instead of each consumer
+    rebuilding the same three arrays.
+
+    ``c_lo[v] .. c_hi[v]`` (inclusive) is the chunk span of vertex ``v``'s
+    edge bytes; degree-0 vertices get the empty span ``(0, -1)`` and are
+    excluded from ``has_edges``.
+    """
+
+    chunk_bytes: int
+    n_chunks: int
+    has_edges: np.ndarray  # bool, per vertex
+    c_lo: np.ndarray  # int64, per vertex
+    c_hi: np.ndarray  # int64, per vertex
 
 
 @dataclass
@@ -61,6 +85,7 @@ class CSRGraph:
     directed: bool = True
     name: str = "graph"
     _out_degree: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _chunk_maps: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
@@ -125,6 +150,33 @@ class CSRGraph:
         if self._out_degree is None:
             self._out_degree = np.diff(self.indptr)
         return self._out_degree
+
+    def chunk_map(self, chunk_bytes: int) -> ChunkMap:
+        """The per-vertex chunk-span geometry at ``chunk_bytes`` granularity.
+
+        Cached per chunk size: a run builds several chunk-indexed components
+        (Static Region, hotness table, Hybrid's density policy) over the
+        same geometry, and the serving layer reuses one graph across many
+        requests — each pays the vertex-count-sized computation once.
+        """
+        chunk_bytes = int(chunk_bytes)
+        if chunk_bytes <= 0:
+            raise ValueError("chunk size must be positive")
+        cached = self._chunk_maps.get(chunk_bytes)
+        if cached is not None:
+            return cached
+        edge_bytes = self.edge_array_bytes
+        n_chunks = -(-edge_bytes // chunk_bytes) if edge_bytes else 0
+        bpe = self.bytes_per_edge
+        lo = self.indptr[:-1] * bpe
+        hi = self.indptr[1:] * bpe
+        has_edges = hi > lo
+        c_lo = np.where(has_edges, lo // chunk_bytes, 0)
+        c_hi = np.where(has_edges, (hi - 1) // chunk_bytes, -1)
+        cmap = ChunkMap(chunk_bytes=chunk_bytes, n_chunks=n_chunks,
+                        has_edges=has_edges, c_lo=c_lo, c_hi=c_hi)
+        self._chunk_maps[chunk_bytes] = cmap
+        return cmap
 
     def neighbors(self, v: int) -> np.ndarray:
         """Destination vertices of ``v``'s out-edges (a view, not a copy)."""

@@ -75,3 +75,40 @@ class TestPlan:
         assert sum(r.nbytes for r in rounds) == plan.total_bytes
         assert sum(r.n_edges for r in rounds) == plan.n_edges
         assert all(r.nbytes >= 0 and r.n_edges >= 0 for r in rounds)
+
+
+class TestRoundShares:
+    """The closed-form split must reproduce the iterative
+    ``ceil(left / rounds_left)`` schedule round for round."""
+
+    @staticmethod
+    def _iterative(total, n_rounds):
+        sizes, left = [], total
+        for k in range(n_rounds, 0, -1):
+            take = -(-left // k)
+            sizes.append(take)
+            left -= take
+        return sizes
+
+    @given(st.integers(0, 2**40), st.integers(1, 500))
+    def test_property_matches_iterative_split(self, total, n_rounds):
+        from repro.core.ondemand import round_shares
+
+        hi, n_hi, lo, n_lo = round_shares(total, n_rounds)
+        assert [hi] * n_hi + [lo] * n_lo == self._iterative(total, n_rounds)
+        assert hi * n_hi + lo * n_lo == total
+        assert n_hi + n_lo == n_rounds
+
+    def test_zero_rounds(self):
+        from repro.core.ondemand import round_shares
+
+        assert round_shares(100, 0) == (0, 0, 0, 0)
+
+    def test_matches_plan_iter_rounds(self, graph):
+        from repro.core.ondemand import round_shares
+
+        mask = np.ones(graph.n_vertices, dtype=bool)
+        plan = plan_ondemand(graph, mask, 777)
+        hi, n_hi, lo, n_lo = round_shares(plan.total_bytes, plan.n_rounds)
+        sizes = [r.nbytes for r in plan.iter_rounds()]
+        assert sizes == [hi] * n_hi + [lo] * n_lo

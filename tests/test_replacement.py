@@ -160,3 +160,91 @@ class TestConstructorValidation:
     def test_cumulative_policy_allows_large_thresholds(self):
         h = table(8, policy="cumulative", threshold=5)
         assert not h.staleness().any()
+
+
+def _bits_to_runs(dense):
+    """Merged half-open intervals of the set chunks in a dense 0/1 array."""
+    d = np.diff(np.concatenate(([0], (dense > 0).astype(np.int8), [0])))
+    return np.nonzero(d == 1)[0], np.nonzero(d == -1)[0]
+
+
+class TestUpdateRuns:
+    """Interval-fed updates must be indistinguishable from dense updates."""
+
+    @given(st.lists(st.integers(0, 2**24 - 1), min_size=1, max_size=6))
+    def test_property_runs_equal_dense(self, iterations):
+        n = 24
+        by_runs, by_dense = table(n), table(n)
+        for bits in iterations:
+            dense = np.array([(bits >> i) & 1 for i in range(n)])
+            starts, ends = _bits_to_runs(dense)
+            by_runs.update_runs(starts, ends)
+            by_dense.update(dense)
+        assert np.array_equal(by_runs.cumulative, by_dense.cumulative)
+        assert np.array_equal(by_runs.last, by_dense.last)
+        assert np.array_equal(by_runs.staleness(), by_dense.staleness())
+
+    def test_updates_stay_queued_until_read(self):
+        h = table(16)
+        h.update_runs(np.array([0]), np.array([4]))
+        h.update_runs(np.array([8]), np.array([12]))
+        assert len(h._pending) == 2
+        assert not h._cumulative.any()  # raw array untouched
+        assert list(h.last[:13]) == [0] * 8 + [1] * 4 + [0]
+        assert not h._pending  # reading materialized everything
+        assert list(h.cumulative[:5]) == [1, 1, 1, 1, 0]
+
+    def test_mixed_dense_and_runs(self):
+        """A dense update folds pending intervals in first."""
+        h, ref = table(8), table(8)
+        h.update_runs(np.array([0]), np.array([3]))
+        h.update(np.array([0, 1, 0, 0, 1, 0, 0, 0]))
+        ref.update(np.array([1, 1, 1, 0, 0, 0, 0, 0]))
+        ref.update(np.array([0, 1, 0, 0, 1, 0, 0, 0]))
+        assert np.array_equal(h.cumulative, ref.cumulative)
+        assert np.array_equal(h.last, ref.last)
+
+    def test_overlapping_intervals_rejected(self):
+        h = table(16)
+        with pytest.raises(ValueError):
+            h.update_runs(np.array([0, 2]), np.array([3, 5]))
+
+    def test_out_of_range_rejected(self):
+        h = table(16)
+        with pytest.raises(ValueError):
+            h.update_runs(np.array([10]), np.array([17]))
+        with pytest.raises(ValueError):
+            h.update_runs(np.array([-1]), np.array([3]))
+
+    def test_empty_update_counts_as_iteration(self):
+        """An iteration touching nothing still resets ``last``."""
+        h = table(4)
+        h.update_runs(np.array([0]), np.array([4]))
+        empty = np.empty(0, dtype=np.int64)
+        h.update_runs(empty, empty)
+        assert not h.last.any()
+        assert list(h.cumulative) == [1, 1, 1, 1]
+
+
+class TestPlanSwapsResidentCounts:
+    """Passing precomputed per-fragment resident counts must not change
+    the plan — it only skips the reduceat."""
+
+    @given(
+        st.integers(0, 2**24 - 1),
+        st.integers(0, 2**24 - 1),
+        st.integers(1, 30),
+        st.integers(1, 8),
+    )
+    def test_property_same_plan(self, res_bits, touch_bits, budget, frag):
+        n = 24
+        h = table(n, policy="last")
+        h.update(np.array([(touch_bits >> i) & 1 for i in range(n)]))
+        resident = np.array([(res_bits >> i) & 1 for i in range(n)],
+                            dtype=bool)
+        counts = h.fragment_resident_counts(resident, frag)
+        a = h.plan_swaps(resident, budget, fragment_chunks=frag)
+        b = h.plan_swaps(resident, budget, fragment_chunks=frag,
+                         resident_counts=counts)
+        assert np.array_equal(a.evict, b.evict)
+        assert np.array_equal(a.load, b.load)
